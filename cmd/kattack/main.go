@@ -1,0 +1,68 @@
+// Command kattack plays the adversary of §2: given a published graph,
+// it reports how many vertices each class of structural background
+// knowledge re-identifies uniquely, and optionally the candidate set
+// for one target vertex. Run it against a naively-anonymized graph and
+// against a k-symmetric release to see the difference.
+//
+// Usage:
+//
+//	kattack -in published.edges
+//	kattack -in published.edges -target 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/knowledge"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "published graph in edge-list format")
+		target = flag.Int("target", -1, "report the candidate set for this vertex")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "kattack: -in is required")
+		os.Exit(2)
+	}
+	g, err := graph.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kattack:", err)
+		os.Exit(1)
+	}
+	measures := []knowledge.Measure{
+		knowledge.Degree{},
+		knowledge.NeighborDegreeSeq{},
+		knowledge.Triangles{},
+		knowledge.NeighborhoodGraph{},
+		knowledge.HubFingerprint{Hubs: 5},
+		knowledge.NewCombined(),
+	}
+	fmt.Printf("%-18s %12s %14s\n", "knowledge", "unique rate", "anonymity k")
+	for _, m := range measures {
+		fmt.Printf("%-18s %11.1f%% %14d\n",
+			m.Name(), 100*knowledge.UniqueRate(g, m), knowledge.AnonymityLevel(g, m))
+	}
+	if *target >= 0 {
+		if *target >= g.N() {
+			fmt.Fprintf(os.Stderr, "kattack: target %d out of range [0,%d)\n", *target, g.N())
+			os.Exit(1)
+		}
+		fmt.Printf("\ncandidate sets for vertex %d:\n", *target)
+		for _, m := range measures {
+			cands := knowledge.CandidateSet(g, m, *target)
+			fmt.Printf("  %-18s %4d candidates", m.Name(), len(cands))
+			if len(cands) <= 12 {
+				fmt.Printf(" %v", cands)
+			}
+			if len(cands) == 1 {
+				fmt.Print("   ← uniquely re-identified")
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command kexp regenerates the paper's tables and figures on the
+// calibrated synthetic networks (see DESIGN.md §2 for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	kexp -exp all            # every experiment (minutes)
+//	kexp -exp fig10          # one experiment
+//	kexp -exp fig8 -quick    # reduced sample counts (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|fig10|fig11|minimal|samplers|attack|extended|all")
+		seed  = flag.Int64("seed", datasets.DefaultSeed, "dataset/sampler seed")
+		quick = flag.Bool("quick", false, "reduced sample counts for a fast pass")
+	)
+	flag.Parse()
+
+	e := experiments.NewEnv(*seed)
+	w := os.Stdout
+
+	// Paper-scale parameters, reduced under -quick.
+	fig8Samples, fig9Max, fig11Samples, pathPairs := 20, 100, 100, 500
+	fig9Counts := []int{1, 5, 10, 20, 40, 60, 80, 100}
+	if *quick {
+		fig8Samples, fig9Max, fig11Samples, pathPairs = 5, 10, 10, 100
+		fig9Counts = []int{1, 5, 10}
+	}
+	ks := []int{5, 10}
+	fracs := []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05}
+
+	runners := []struct {
+		name string
+		run  func()
+	}{
+		{"table1", func() { experiments.Table1(w, e) }},
+		{"fig2", func() { experiments.Figure2(w, e) }},
+		{"fig8", func() { experiments.Figure8(w, e, 5, fig8Samples, pathPairs) }},
+		{"fig9", func() { experiments.Figure9(w, e, ks, fig9Max, pathPairs, fig9Counts) }},
+		{"fig10", func() { experiments.Figure10(w, e, ks, fracs) }},
+		{"fig11", func() { experiments.Figure11(w, e, ks, fracs, fig11Samples, pathPairs) }},
+		{"minimal", func() { experiments.MinimalAnonymization(w, e, 5, []string{"Enron", "Hepth"}) }},
+		{"samplers", func() { experiments.SamplerComparison(w, e, 5, fig8Samples, pathPairs) }},
+		{"attack", func() { experiments.BaselineAttack(w, e, 5) }},
+		{"extended", func() { experiments.ExtendedUtility(w, e, 5, fig8Samples) }},
+	}
+
+	found := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		found = true
+		start := time.Now()
+		r.run()
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "kexp: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

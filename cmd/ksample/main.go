@@ -1,0 +1,100 @@
+// Command ksample is the analyst side of the pipeline (§4.2): it takes
+// a published k-symmetric graph G' with its partition 𝒱' and the
+// original vertex count n, and extracts sample graphs approximating the
+// original network.
+//
+// Usage:
+//
+//	ksample -graph g_anon.edges -partition g_anon.cells -n 111 -count 20 -out-dir samples/
+//	ksample -graph g_anon.edges -partition g_anon.cells -n 111 -method exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+	"ksymmetry/internal/publish"
+	"ksymmetry/internal/sampling"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "published anonymized graph (edge list)")
+		relPath   = flag.String("release", "", "bundled release file (alternative to -graph/-partition/-n)")
+		partPath  = flag.String("partition", "", "published partition 𝒱' (one cell per line)")
+		n         = flag.Int("n", 0, "original vertex count |V(G)| (published alongside G')")
+		method    = flag.String("method", "approx", "sampling method: approx (Alg. 4/5) or exact (Alg. 3)")
+		count     = flag.Int("count", 1, "number of sample graphs to draw")
+		uniform   = flag.Bool("uniform", false, "use uniform cell weights instead of inverse-degree")
+		seed      = flag.Int64("seed", 1, "random seed")
+		outDir    = flag.String("out-dir", "", "write samples as sample_<i>.edges here (default stdout, count=1 only)")
+	)
+	flag.Parse()
+
+	var (
+		g   *graph.Graph
+		p   *partition.Partition
+		err error
+	)
+	switch {
+	case *relPath != "":
+		rel, rerr := publish.ReadFile(*relPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		g, p, *n = rel.Graph, rel.Partition, rel.OriginalN
+	case *graphPath != "" && *partPath != "" && *n > 0:
+		g, err = graph.ReadFile(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = partition.ReadFile(*partPath, g.N())
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("either -release, or -graph with -partition and -n, is required"))
+	}
+	opts := &sampling.Options{Rng: rand.New(rand.NewSource(*seed))}
+	if *uniform {
+		opts.Probabilities = sampling.UniformProbabilities(p)
+	}
+	if *outDir == "" && *count != 1 {
+		fatal(fmt.Errorf("-count > 1 requires -out-dir"))
+	}
+	for i := 0; i < *count; i++ {
+		var s *graph.Graph
+		switch *method {
+		case "approx":
+			s, err = sampling.Approximate(g, p, *n, opts)
+		case "exact":
+			s, err = sampling.Exact(g, p, *n, opts)
+		default:
+			err = fmt.Errorf("unknown method %q", *method)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *outDir == "" {
+			if err := s.Write(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			path := filepath.Join(*outDir, fmt.Sprintf("sample_%03d.edges", i))
+			if err := s.WriteFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d vertices, %d edges)\n", path, s.N(), s.M())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksample:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command ksym anonymizes a network with the k-symmetry model: it
+// computes the automorphism partition Orb(G), applies Algorithm 1 (or
+// the f-symmetry / backbone-minimal variants), and writes the
+// anonymized graph together with its sub-automorphism partition — the
+// two artifacts the publisher releases (§4.3).
+//
+// Usage:
+//
+//	ksym -in g.edges -k 5 -out g_anon.edges -partition g_anon.cells
+//	ksym -demo fig3 -k 3              # run on a built-in example graph
+//	ksym -in g.edges -k 10 -exclude-hubs 0.05   # f-symmetry (§5.2)
+//	ksym -in g.edges -k 5 -minimal              # backbone rebuild (§5.1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/publish"
+	"ksymmetry/internal/refine"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input graph in edge-list format")
+		demo        = flag.String("demo", "", "built-in graph instead of -in: fig1|fig3|enron|hepth|nettrace")
+		k           = flag.Int("k", 5, "anonymity parameter k (every orbit reaches ≥ k vertices)")
+		out         = flag.String("out", "", "output path for the anonymized graph (default stdout)")
+		partOut     = flag.String("partition", "", "output path for the published partition 𝒱' (omitted if empty)")
+		release     = flag.String("release", "", "write a single bundled release file (G' + 𝒱' + |V(G)|) to this path")
+		excludeHubs = flag.Float64("exclude-hubs", 0, "exclude this fraction of highest-degree vertices from protection (§5.2)")
+		minimal     = flag.Bool("minimal", false, "rebuild from the backbone to minimize added vertices (§5.1)")
+		useTDP      = flag.Bool("tdp", false, "use the total degree partition instead of exact Orb(G) (the paper's large-graph fallback, §7)")
+		seed        = flag.Int64("seed", datasets.DefaultSeed, "seed for built-in graph generation")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*in, *demo, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	orb := refine.TotalDegreePartition(g)
+	if !*useTDP {
+		exact, _, err := automorphism.OrbitPartition(g, nil)
+		if err != nil {
+			fatal(fmt.Errorf("orbit search exceeded budget (%w); rerun with -tdp", err))
+		}
+		orb = exact
+	}
+
+	var res *ksym.Result
+	switch {
+	case *minimal && *excludeHubs > 0:
+		res, err = ksym.MinimalAnonymizeF(g, orb, ksym.TopFractionTarget(g, *k, *excludeHubs))
+	case *minimal:
+		res, err = ksym.MinimalAnonymize(g, orb, *k)
+	case *excludeHubs > 0:
+		res, err = ksym.AnonymizeF(g, orb, ksym.TopFractionTarget(g, *k, *excludeHubs))
+	default:
+		res, err = ksym.Anonymize(g, orb, *k)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "anonymized: %d→%d vertices (+%d), %d→%d edges (+%d), %d copy operations\n",
+		res.OriginalN, res.Graph.N(), res.VerticesAdded(),
+		res.OriginalM, res.Graph.M(), res.EdgesAdded(), res.CopyOps)
+
+	if *out == "" {
+		if err := res.Graph.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else if err := res.Graph.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	if *partOut != "" {
+		if err := res.Partition.WriteFile(*partOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *release != "" {
+		if err := publish.FromResult(res).WriteFile(*release); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadGraph(in, demo string, seed int64) (*graph.Graph, error) {
+	switch {
+	case in != "" && demo != "":
+		return nil, fmt.Errorf("specify either -in or -demo, not both")
+	case in != "":
+		return graph.ReadFile(in)
+	case demo == "fig1":
+		return datasets.Fig1(), nil
+	case demo == "fig3":
+		return datasets.Fig3(), nil
+	case demo == "enron":
+		return datasets.Enron(seed), nil
+	case demo == "hepth":
+		return datasets.Hepth(seed), nil
+	case demo == "nettrace":
+		return datasets.NetTrace(seed), nil
+	case demo != "":
+		return nil, fmt.Errorf("unknown demo graph %q", demo)
+	default:
+		return nil, fmt.Errorf("one of -in or -demo is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksym:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Attack: reproduces the §2 motivating story on the Figure 1 network.
+// An adversary holding simple structural knowledge about Bob
+// re-identifies him from the naively-anonymized graph; after 2-symmetry
+// anonymization every candidate set has at least two members.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ksymmetry/internal/baseline"
+	"ksymmetry/internal/core"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/knowledge"
+)
+
+func main() {
+	g := datasets.Fig1()
+
+	// The publisher releases a naively-anonymized graph: identifiers
+	// replaced by randomized integers, structure untouched.
+	published, perm := baseline.Naive(g, 42)
+	bob := perm[1]
+	fmt.Printf("naively-anonymized network: Bob is now vertex %d of %d\n", bob, published.N())
+
+	measures := []knowledge.Measure{
+		knowledge.Degree{},
+		knowledge.NeighborDegreeSeq{},
+		knowledge.NewCombined(),
+	}
+	fmt.Println("\nadversary's candidate sets for Bob:")
+	for _, m := range measures {
+		cands := knowledge.CandidateSet(published, m, bob)
+		fmt.Printf("  %-16s → %d candidates %v", m.Name(), len(cands), cands)
+		if len(cands) == 1 {
+			fmt.Print("   ← Bob uniquely re-identified!")
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nfraction of individuals uniquely re-identifiable under the combined measure: %.0f%%\n",
+		100*knowledge.UniqueRate(published, knowledge.NewCombined()))
+
+	// Now publish a 2-symmetric version instead.
+	orb, _, err := core.OrbitPartition(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Anonymize(g, orb, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter 2-symmetry anonymization (+%d vertices, +%d edges):\n",
+		res.VerticesAdded(), res.EdgesAdded())
+	for _, m := range measures {
+		cands := knowledge.CandidateSet(res.Graph, m, 1) // Bob kept id 1: insertion only
+		fmt.Printf("  %-16s → %d candidates\n", m.Name(), len(cands))
+	}
+	fmt.Printf("unique re-identification rate under ANY structural knowledge: %.0f%%\n",
+		100*knowledge.UniqueRate(res.Graph, knowledge.NewCombined()))
+}

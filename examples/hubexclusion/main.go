@@ -1,0 +1,53 @@
+// Hubexclusion: the §5.2 f-symmetry model on the Net-trace-style
+// network. Protecting the extreme-degree hub costs hundreds of
+// thousands of inserted edges; excluding a few percent of hubs — which
+// represent well-known entities whose identity needs no protection —
+// cuts the cost dramatically while leaving every other vertex
+// k-anonymous under any structural knowledge.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ksymmetry/internal/core"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/ksym"
+)
+
+func main() {
+	g := datasets.NetTrace(datasets.DefaultSeed)
+	fmt.Printf("Net-trace stand-in: %d vertices, %d edges, max degree %d\n",
+		g.N(), g.M(), g.MaxDegree())
+
+	orb, _, err := core.OrbitPartition(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("orbits: %d (of which %d are singletons — mostly hubs)\n\n",
+		orb.NumCells(), orb.SingletonCount())
+
+	const k = 10
+	fmt.Printf("%-22s %12s %12s %10s\n", "policy", "+vertices", "+edges", "saving")
+	base := 0
+	for _, frac := range []float64{0, 0.01, 0.05} {
+		res, err := core.AnonymizeF(g, orb, ksym.TopFractionTarget(g, k, frac))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if frac == 0 {
+			base = res.EdgesAdded()
+		}
+		saving := 100 * (1 - float64(res.EdgesAdded())/float64(base))
+		fmt.Printf("exclude top %4.1f%% hubs %12d %12d %9.1f%%\n",
+			100*frac, res.VerticesAdded(), res.EdgesAdded(), saving)
+	}
+
+	// A degree-threshold policy expresses the same idea declaratively.
+	res, err := core.AnonymizeF(g, orb, ksym.DegreeThresholdTarget(g, k, 50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndegree threshold δ=50: +%d vertices, +%d edges\n",
+		res.VerticesAdded(), res.EdgesAdded())
+}

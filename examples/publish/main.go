@@ -1,0 +1,86 @@
+// Publish: the full publisher→analyst workflow of §4 on the Enron-style
+// network. The publisher computes Orb(G), anonymizes with k = 5, and
+// releases (G', 𝒱', |V(G)|). The analyst, who never sees G, draws
+// sample graphs from the release and recovers the original's
+// statistical properties, measuring the recovery with the
+// Kolmogorov-Smirnov statistic exactly as in Figures 8 and 9.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"ksymmetry/internal/core"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+	"ksymmetry/internal/stats"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ksym-publish")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ------------------------- publisher side -------------------------
+	g := datasets.Enron(datasets.DefaultSeed)
+	fmt.Printf("private network: %d vertices, %d edges\n", g.N(), g.M())
+
+	orb, _, err := core.OrbitPartition(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Anonymize(g, orb, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gPath := filepath.Join(dir, "published.edges")
+	pPath := filepath.Join(dir, "published.cells")
+	if err := res.Graph.WriteFile(gPath); err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Partition.WriteFile(pPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published: G' (%d vertices, %d edges), 𝒱' (%d cells), and n=%d\n",
+		res.Graph.N(), res.Graph.M(), res.Partition.NumCells(), g.N())
+
+	// -------------------------- analyst side --------------------------
+	gp, err := graph.ReadFile(gPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vp, err := partition.ReadFile(pPath, gp.N())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const samples = 20
+	var degS, pathS []stats.Sample
+	for i := 0; i < samples; i++ {
+		s, err := core.SampleApproximate(gp, vp, g.N(), &core.SamplingOptions{Rng: rng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		degS = append(degS, stats.DegreeSample(s))
+		pathS = append(pathS, stats.PathLengthSample(s, 500, rng))
+	}
+	pooledDeg := stats.Merge(degS)
+	pooledPath := stats.Merge(pathS)
+
+	// Ground truth (the analyst can't compute this; we can, to score).
+	origDeg := stats.DegreeSample(g)
+	origPath := stats.PathLengthSample(g, 500, rng)
+	fmt.Printf("\nanalyst recovery from %d samples:\n", samples)
+	fmt.Printf("  mean degree:      true %.2f, recovered %.2f (KS %.3f)\n",
+		origDeg.Mean(), pooledDeg.Mean(), stats.KolmogorovSmirnov(origDeg, pooledDeg))
+	fmt.Printf("  mean path length: true %.2f, recovered %.2f (KS %.3f)\n",
+		origPath.Mean(), pooledPath.Mean(), stats.KolmogorovSmirnov(origPath, pooledPath))
+	fmt.Printf("  mean clustering:  true %.3f, recovered via samples — see kexp -exp fig8 for the full panel\n",
+		stats.GlobalClustering(g))
+}

@@ -1,0 +1,44 @@
+// Quickstart: the k-symmetry pipeline on the paper's own worked
+// example (Figure 3 / Figure 5). It computes Orb(G), anonymizes with
+// k = 2 and k = 3, and verifies the Definition 1 guarantee with an
+// independent orbit computation on the output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ksymmetry/internal/core"
+	"ksymmetry/internal/datasets"
+)
+
+func main() {
+	g := datasets.Fig3()
+	fmt.Printf("original graph: %d vertices, %d edges\n", g.N(), g.M())
+
+	orb, _, err := core.OrbitPartition(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("automorphism partition Orb(G): %v\n", orb)
+
+	for _, k := range []int{2, 3} {
+		res, err := core.Anonymize(g, orb, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nk=%d: +%d vertices, +%d edges, %d copy operations\n",
+			k, res.VerticesAdded(), res.EdgesAdded(), res.CopyOps)
+		fmt.Printf("published partition 𝒱': %v\n", res.Partition)
+
+		// Verify: recompute orbits of the published graph; every orbit
+		// must have at least k members, so NO structural knowledge can
+		// narrow an adversary's candidate set below k (§2.1).
+		after, _, err := core.OrbitPartition(res.Graph, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k-symmetric: %v (smallest orbit %d)\n",
+			core.IsKSymmetric(after, k), after.MinCellSize())
+	}
+}

@@ -1,0 +1,3 @@
+module ksymmetry
+
+go 1.22

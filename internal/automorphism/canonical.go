@@ -1,0 +1,201 @@
+package automorphism
+
+import (
+	"fmt"
+	"sort"
+
+	"ksymmetry/internal/graph"
+)
+
+// Canonical labeling: CanonicalForm relabels a graph into a canonical
+// representative of its isomorphism class, so two graphs are isomorphic
+// iff their certificates are equal. The search individualizes vertices
+// of an invariantly-chosen refinement cell, recurses, and keeps the
+// lexicographically smallest adjacency encoding over all leaves —
+// the same individualization-refinement family nauty uses, without its
+// automorphism-based subtree cuts (a twin cut covers the common cases;
+// MaxLeaves bounds the rest).
+
+// DefaultMaxLeaves caps the canonical search's leaf count.
+const DefaultMaxLeaves = 1 << 14
+
+// ErrCanonicalBudget is returned when the leaf budget is exhausted.
+var ErrCanonicalBudget = fmt.Errorf("automorphism: canonical-form leaf budget exceeded")
+
+// CanonicalForm returns a relabeling perm (old id → canonical id) and
+// the certificate of g's isomorphism class. maxLeaves ≤ 0 selects
+// DefaultMaxLeaves.
+func CanonicalForm(g *graph.Graph, maxLeaves int) (Perm, string, error) {
+	if maxLeaves <= 0 {
+		maxLeaves = DefaultMaxLeaves
+	}
+	n := g.N()
+	if n == 0 {
+		return Perm{}, "0|0|", nil
+	}
+	c := &canonSearch{g: g, budget: maxLeaves}
+	if err := c.rec(make([]int, n)); err != nil {
+		return nil, "", err
+	}
+	return c.bestPerm, fmt.Sprintf("%d|%d|%s", n, g.M(), c.bestKey), nil
+}
+
+// Certificate returns only the certificate string.
+func Certificate(g *graph.Graph, maxLeaves int) (string, error) {
+	_, cert, err := CanonicalForm(g, maxLeaves)
+	return cert, err
+}
+
+type canonSearch struct {
+	g        *graph.Graph
+	budget   int
+	leaves   int
+	bestKey  string
+	bestPerm Perm
+}
+
+func (c *canonSearch) rec(init []int) error {
+	colors := canonicalRefine(c.g, init)
+	n := c.g.N()
+	// Count color multiplicities; find the smallest color with
+	// multiplicity ≥ 2 (an invariant choice, since refinement ids are
+	// canonical by content).
+	maxColor := 0
+	for _, col := range colors {
+		if col > maxColor {
+			maxColor = col
+		}
+	}
+	count := make([]int, maxColor+1)
+	for _, col := range colors {
+		count[col]++
+	}
+	target := -1
+	for col := 0; col <= maxColor; col++ {
+		if count[col] >= 2 {
+			target = col
+			break
+		}
+	}
+	if target == -1 {
+		// Discrete: one leaf labeling.
+		c.leaves++
+		if c.leaves > c.budget {
+			return ErrCanonicalBudget
+		}
+		perm := rankPerm(colors)
+		key := labeledAdjacencyKey(c.g, perm)
+		if c.bestKey == "" || key < c.bestKey {
+			c.bestKey = key
+			c.bestPerm = perm
+		}
+		return nil
+	}
+	// Branch over the target cell, skipping twins of already-branched
+	// members (mapping twin → twin yields the same leaf set).
+	var branched []int
+	for v := 0; v < n; v++ {
+		if colors[v] != target {
+			continue
+		}
+		twin := false
+		for _, u := range branched {
+			if sameNeighborhood(c.g, u, v) {
+				twin = true
+				break
+			}
+		}
+		if twin {
+			continue
+		}
+		branched = append(branched, v)
+		next := append([]int(nil), colors...)
+		next[v] = maxColor + 1
+		if err := c.rec(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sameNeighborhood reports open or closed neighborhood equality — the
+// twin relation, under which swapping u and v is an automorphism.
+func sameNeighborhood(g *graph.Graph, u, v int) bool {
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	if len(nu) != len(nv) {
+		return false
+	}
+	open, closed := true, true
+	for i := range nu {
+		if nu[i] != nv[i] {
+			open = false
+			break
+		}
+	}
+	if open {
+		return true
+	}
+	// Closed: N(u) ∪ {u} == N(v) ∪ {v}.
+	cu := append(append([]int(nil), nu...), u)
+	cv := append(append([]int(nil), nv...), v)
+	sort.Ints(cu)
+	sort.Ints(cv)
+	for i := range cu {
+		if cu[i] != cv[i] {
+			closed = false
+			break
+		}
+	}
+	return closed
+}
+
+// rankPerm converts a discrete coloring into the permutation sending
+// each vertex to its color rank.
+func rankPerm(colors []int) Perm {
+	idx := make([]int, len(colors))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return colors[idx[a]] < colors[idx[b]] })
+	perm := make(Perm, len(colors))
+	for rank, v := range idx {
+		perm[v] = rank
+	}
+	return perm
+}
+
+// labeledAdjacencyKey serializes the upper-triangular adjacency matrix
+// of g relabeled by perm.
+func labeledAdjacencyKey(g *graph.Graph, perm Perm) string {
+	n := g.N()
+	bits := make([]byte, n*(n-1)/2)
+	for i := range bits {
+		bits[i] = '0'
+	}
+	pos := func(i, j int) int {
+		if i > j {
+			i, j = j, i
+		}
+		// Index of (i,j), i<j, in row-major upper triangle.
+		return i*(2*n-i-1)/2 + (j - i - 1)
+	}
+	for _, e := range g.Edges() {
+		bits[pos(perm[e[0]], perm[e[1]])] = '1'
+	}
+	return string(bits)
+}
+
+// IsomorphicByCertificate reports whether a and b are isomorphic by
+// comparing canonical certificates — useful when one graph is compared
+// against many.
+func IsomorphicByCertificate(a, b *graph.Graph, maxLeaves int) (bool, error) {
+	ca, err := Certificate(a, maxLeaves)
+	if err != nil {
+		return false, err
+	}
+	cb, err := Certificate(b, maxLeaves)
+	if err != nil {
+		return false, err
+	}
+	return ca == cb, nil
+}

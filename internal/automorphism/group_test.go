@@ -1,0 +1,179 @@
+package automorphism
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"ksymmetry/internal/partition"
+)
+
+func TestGroupOrderS4(t *testing.T) {
+	// S4 = <(0 1), (0 1 2 3)>.
+	gens := []Perm{{1, 0, 2, 3}, {1, 2, 3, 0}}
+	g := NewGroup(4, gens)
+	if g.Order().Cmp(big.NewInt(24)) != 0 {
+		t.Fatalf("|S4| = %v, want 24", g.Order())
+	}
+}
+
+func TestGroupOrderCyclic(t *testing.T) {
+	g := NewGroup(5, []Perm{{1, 2, 3, 4, 0}})
+	if g.Order().Cmp(big.NewInt(5)) != 0 {
+		t.Fatalf("|Z5| = %v, want 5", g.Order())
+	}
+}
+
+func TestGroupOrderDihedral(t *testing.T) {
+	// D4 acting on the 4-cycle: rotation + reflection.
+	g := NewGroup(4, []Perm{{1, 2, 3, 0}, {0, 3, 2, 1}})
+	if g.Order().Cmp(big.NewInt(8)) != 0 {
+		t.Fatalf("|D4| = %v, want 8", g.Order())
+	}
+}
+
+func TestGroupOrderTrivial(t *testing.T) {
+	g := NewGroup(3, nil)
+	if g.Order().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("trivial group order = %v", g.Order())
+	}
+	if !g.Contains(Identity(3)) {
+		t.Fatal("trivial group must contain identity")
+	}
+	if g.Contains(Perm{1, 0, 2}) {
+		t.Fatal("trivial group contains a transposition")
+	}
+}
+
+func TestGroupContains(t *testing.T) {
+	// A4 = <(0 1 2), (1 2 3)>, order 12, contains no transpositions.
+	g := NewGroup(4, []Perm{{1, 2, 0, 3}, {0, 2, 3, 1}})
+	if g.Order().Cmp(big.NewInt(12)) != 0 {
+		t.Fatalf("|A4| = %v, want 12", g.Order())
+	}
+	if g.Contains(Perm{1, 0, 2, 3}) {
+		t.Fatal("A4 contains transposition (0 1)")
+	}
+	if !g.Contains(Perm{1, 0, 3, 2}) {
+		t.Fatal("A4 missing double transposition (0 1)(2 3)")
+	}
+	if !g.Contains(Perm{2, 0, 1, 3}) {
+		t.Fatal("A4 missing 3-cycle inverse")
+	}
+}
+
+func TestGroupDirectProduct(t *testing.T) {
+	// Z2 × Z2 acting on 4 points as two independent swaps.
+	g := NewGroup(4, []Perm{{1, 0, 2, 3}, {0, 1, 3, 2}})
+	if g.Order().Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("|Z2×Z2| = %v, want 4", g.Order())
+	}
+}
+
+func TestGroupInvalidGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid generator did not panic")
+		}
+	}()
+	NewGroup(3, []Perm{{0, 0, 1}})
+}
+
+func TestGroupDegree(t *testing.T) {
+	if NewGroup(6, nil).Degree() != 6 {
+		t.Fatal("Degree wrong")
+	}
+}
+
+func TestOrbitsFromGenerators(t *testing.T) {
+	// Swap (0 1) and 3-cycle (2 3 4) on 6 points; 5 is fixed.
+	gens := []Perm{{1, 0, 2, 3, 4, 5}, {0, 1, 3, 4, 2, 5}}
+	p := OrbitsFromGenerators(6, gens)
+	want := partition.MustFromCells(6, [][]int{{0, 1}, {2, 3, 4}, {5}})
+	if !p.Equal(want) {
+		t.Fatalf("orbits = %v, want %v", p, want)
+	}
+}
+
+func TestOrbitsFromNoGenerators(t *testing.T) {
+	p := OrbitsFromGenerators(3, nil)
+	if !p.Equal(partition.Discrete(3)) {
+		t.Fatalf("orbits = %v, want discrete", p)
+	}
+}
+
+func TestGroupOrderLargeSymmetric(t *testing.T) {
+	// S8 from a transposition and an 8-cycle: 40320. Exercises deeper
+	// stabilizer chains and big.Int arithmetic.
+	n := 8
+	cyc := make(Perm, n)
+	for i := range cyc {
+		cyc[i] = (i + 1) % n
+	}
+	tr := Identity(n)
+	tr[0], tr[1] = 1, 0
+	g := NewGroup(n, []Perm{tr, cyc})
+	if g.Order().Cmp(big.NewInt(40320)) != 0 {
+		t.Fatalf("|S8| = %v, want 40320", g.Order())
+	}
+}
+
+func TestGroupElements(t *testing.T) {
+	// D4 on the 4-cycle: 8 distinct elements, all members.
+	g := NewGroup(4, []Perm{{1, 2, 3, 0}, {0, 3, 2, 1}})
+	elems, err := g.Elements(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 8 {
+		t.Fatalf("|elements| = %d, want 8", len(elems))
+	}
+	seen := map[string]bool{}
+	for _, e := range elems {
+		if !e.IsValid() || !g.Contains(e) {
+			t.Fatalf("element %v invalid or not in group", e)
+		}
+		if seen[e.String()+"|"] {
+			t.Fatalf("duplicate element %v", e)
+		}
+		seen[e.String()+"|"] = true
+	}
+}
+
+func TestGroupElementsLimit(t *testing.T) {
+	// S6 has 720 elements; limit 100 must error.
+	gens := []Perm{{1, 0, 2, 3, 4, 5}, {1, 2, 3, 4, 5, 0}}
+	g := NewGroup(6, gens)
+	if _, err := g.Elements(100); err == nil {
+		t.Fatal("want error for order > limit")
+	}
+}
+
+func TestGroupRandomElementUniform(t *testing.T) {
+	// Z5: 5 elements; 2000 draws should hit each ~400 times.
+	g := NewGroup(5, []Perm{{1, 2, 3, 4, 0}})
+	rng := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		e := g.RandomElement(rng)
+		if !g.Contains(e) {
+			t.Fatal("random element not in group")
+		}
+		counts[e.String()]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("saw %d distinct elements, want 5", len(counts))
+	}
+	for s, c := range counts {
+		if c < 300 || c > 500 {
+			t.Fatalf("element %s drawn %d times, expected ≈400", s, c)
+		}
+	}
+}
+
+func TestGroupRandomElementTrivial(t *testing.T) {
+	g := NewGroup(3, nil)
+	if !g.RandomElement(rand.New(rand.NewSource(1))).IsIdentity() {
+		t.Fatal("trivial group random element must be identity")
+	}
+}

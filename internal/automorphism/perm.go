@@ -1,0 +1,154 @@
+// Package automorphism computes automorphism groups, their orbits, and
+// the automorphism partition Orb(G) of §2.1 — the quantity the paper
+// obtains from nauty. It is built from scratch on top of equitable
+// partition refinement: an individualization-refinement backtracking
+// search finds, for each pair of refinement-equivalent vertices, an
+// automorphism mapping one to the other (or proves none exists), and the
+// discovered generators are closed into orbits with a union-find.
+//
+// A Schreier-Sims stabilizer chain over the discovered generators gives
+// the order of the generated subgroup of Aut(G) — exact when the
+// generators happen to generate the whole group, and a lower bound
+// otherwise. EnumerateAll performs exhaustive search and is exact on
+// small graphs.
+package automorphism
+
+import (
+	"fmt"
+
+	"ksymmetry/internal/graph"
+)
+
+// Perm is a permutation of {0..n-1}: p[i] is the image of i.
+type Perm []int
+
+// Identity returns the identity permutation on n points.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// IsValid reports whether p is a permutation (a bijection on its index
+// set).
+func (p Perm) IsValid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// IsIdentity reports whether p fixes every point.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns the permutation "p then q": (p.Compose(q))[i] =
+// q[p[i]].
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("automorphism: composing permutations of different degree")
+	}
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[i] = q[v]
+	}
+	return r
+}
+
+// Inverse returns p⁻¹.
+func (p Perm) Inverse() Perm {
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[v] = i
+	}
+	return r
+}
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm { return append(Perm(nil), p...) }
+
+// Equal reports whether p and q are the same permutation.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycles returns the cycle decomposition of p, omitting fixed points.
+// Each cycle starts at its smallest element; cycles are ordered by that
+// element.
+func (p Perm) Cycles() [][]int {
+	var cycles [][]int
+	seen := make([]bool, len(p))
+	for i := range p {
+		if seen[i] || p[i] == i {
+			seen[i] = true
+			continue
+		}
+		var c []int
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+			c = append(c, j)
+		}
+		cycles = append(cycles, c)
+	}
+	return cycles
+}
+
+// String renders p in cycle notation, "()" for the identity.
+func (p Perm) String() string {
+	cs := p.Cycles()
+	if len(cs) == 0 {
+		return "()"
+	}
+	s := ""
+	for _, c := range cs {
+		s += "("
+		for i, v := range c {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprint(v)
+		}
+		s += ")"
+	}
+	return s
+}
+
+// IsAutomorphism reports whether p is an automorphism of g: G^p = G
+// (§2.1). It requires p to be a valid permutation of g's vertices.
+func IsAutomorphism(g *graph.Graph, p Perm) bool {
+	if len(p) != g.N() || !p.IsValid() {
+		return false
+	}
+	for u := 0; u < g.N(); u++ {
+		nbrs := g.Neighbors(u)
+		if g.Degree(p[u]) != len(nbrs) {
+			return false
+		}
+		for _, v := range nbrs {
+			if !g.HasEdge(p[u], p[v]) {
+				return false
+			}
+		}
+	}
+	return true
+}

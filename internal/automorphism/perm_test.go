@@ -1,0 +1,107 @@
+package automorphism
+
+import (
+	"testing"
+
+	"ksymmetry/internal/graph"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	if !id.IsIdentity() || !id.IsValid() {
+		t.Fatal("Identity(4) malformed")
+	}
+	if id.String() != "()" {
+		t.Fatalf("String = %q", id.String())
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	if !(Perm{2, 0, 1}).IsValid() {
+		t.Fatal("valid perm rejected")
+	}
+	if (Perm{0, 0, 1}).IsValid() {
+		t.Fatal("duplicate image accepted")
+	}
+	if (Perm{0, 3}).IsValid() {
+		t.Fatal("out-of-range image accepted")
+	}
+	if (Perm{-1, 0}).IsValid() {
+		t.Fatal("negative image accepted")
+	}
+}
+
+func TestComposeOrder(t *testing.T) {
+	p := Perm{1, 2, 0} // 0→1→2→0
+	q := Perm{0, 2, 1} // swap 1,2
+	// p then q: 0→1→2, 1→2→1, 2→0→0
+	r := p.Compose(q)
+	want := Perm{2, 1, 0}
+	if !r.Equal(want) {
+		t.Fatalf("Compose = %v, want %v", r, want)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	p := Perm{3, 0, 2, 1}
+	if !p.Compose(p.Inverse()).IsIdentity() {
+		t.Fatal("p·p⁻¹ ≠ id")
+	}
+	if !p.Inverse().Compose(p).IsIdentity() {
+		t.Fatal("p⁻¹·p ≠ id")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	p := Perm{1, 0, 2, 4, 5, 3}
+	cs := p.Cycles()
+	if len(cs) != 2 {
+		t.Fatalf("cycles = %v", cs)
+	}
+	if cs[0][0] != 0 || len(cs[0]) != 2 {
+		t.Fatalf("first cycle = %v", cs[0])
+	}
+	if cs[1][0] != 3 || len(cs[1]) != 3 {
+		t.Fatalf("second cycle = %v", cs[1])
+	}
+	if s := p.String(); s != "(0 1)(3 4 5)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestIsAutomorphism(t *testing.T) {
+	// C4: rotation and reflection are automorphisms, a transposition of
+	// adjacent/antipodal mix is not.
+	c4 := graph.New(4)
+	for i := 0; i < 4; i++ {
+		c4.AddEdge(i, (i+1)%4)
+	}
+	if !IsAutomorphism(c4, Perm{1, 2, 3, 0}) {
+		t.Fatal("rotation rejected")
+	}
+	if !IsAutomorphism(c4, Perm{0, 3, 2, 1}) {
+		t.Fatal("reflection rejected")
+	}
+	if IsAutomorphism(c4, Perm{1, 0, 2, 3}) {
+		t.Fatal("non-automorphism accepted")
+	}
+	if IsAutomorphism(c4, Perm{0, 1, 2}) {
+		t.Fatal("wrong-degree perm accepted")
+	}
+	if IsAutomorphism(c4, Perm{0, 0, 2, 2}) {
+		t.Fatal("non-bijection accepted")
+	}
+}
+
+func TestIsAutomorphismStar(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if !IsAutomorphism(g, Perm{0, 2, 3, 1}) {
+		t.Fatal("leaf rotation rejected")
+	}
+	if IsAutomorphism(g, Perm{1, 0, 2, 3}) {
+		t.Fatal("center-leaf swap accepted")
+	}
+}

@@ -1,0 +1,586 @@
+package automorphism
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+	"ksymmetry/internal/refine"
+)
+
+// ErrBudgetExceeded is returned when the backtracking search gives up
+// before producing an exact answer. Callers can fall back to the
+// refinement partition (refine.TotalDegreePartition), the paper's own
+// large-graph fallback (§7).
+var ErrBudgetExceeded = errors.New("automorphism: search node budget exceeded")
+
+// Options tunes the search.
+type Options struct {
+	// NodeBudget caps the number of backtracking nodes explored per
+	// pairwise search. 0 means DefaultNodeBudget.
+	NodeBudget int64
+	// DisableOrbitPruning turns off merging of discovered generators'
+	// orbits (every pair is searched independently). Only useful for
+	// the ablation benchmark; the result is unchanged, just slower.
+	DisableOrbitPruning bool
+	// Workers is the number of goroutines classifying cells
+	// concurrently. 0 or 1 means sequential. The orbit partition is
+	// identical either way; only the discovered generator set may
+	// differ (both generate the same orbits).
+	Workers int
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Workers < 2 {
+		return 1
+	}
+	return o.Workers
+}
+
+// DefaultNodeBudget is the per-search node cap used when Options is nil
+// or zero.
+const DefaultNodeBudget = 1 << 22
+
+func (o *Options) budget() int64 {
+	if o == nil || o.NodeBudget == 0 {
+		return DefaultNodeBudget
+	}
+	return o.NodeBudget
+}
+
+// OrbitPartition computes the automorphism partition Orb(G) exactly,
+// along with the automorphism generators discovered on the way. For
+// every pair of vertices it either finds an automorphism mapping one to
+// the other or proves none exists, so the returned partition is exactly
+// Orb(G) unless ErrBudgetExceeded is returned.
+func OrbitPartition(g *graph.Graph, opts *Options) (*partition.Partition, []Perm, error) {
+	n := g.N()
+	if n == 0 {
+		return partition.FromCellOf(nil), nil, nil
+	}
+	tdp := refine.TotalDegreePartition(g)
+	uf := newUnionFind(n)
+	var gens []Perm
+	// Base refinement colors, shared across all pairwise searches: the
+	// fast path searches with these; only pairs whose fast search
+	// exceeds its small budget pay for per-pair individualized
+	// refinement.
+	baseColors := canonicalRefine(g, make([]int, n))
+	// Twin pre-pass: two vertices with identical open neighborhoods
+	// (N(u) = N(v)) or identical closed neighborhoods (N[u] = N[v]) are
+	// swapped by a transposition fixing everything else, which is an
+	// automorphism. Degree-1 twins dominate the symmetry of real social
+	// networks, so this collapses most pairs before any search runs.
+	for _, pair := range twinPairs(g) {
+		u, v := pair[0], pair[1]
+		if uf.find(u) == uf.find(v) {
+			continue
+		}
+		t := Identity(n)
+		t[u], t[v] = v, u
+		gens = append(gens, t)
+		uf.union(u, v)
+	}
+	st := &searchState{g: g, uf: uf, opts: opts, baseColors: baseColors}
+	st.gens = gens
+	var work []int
+	for ci, cell := range tdp.Cells() {
+		if len(cell) > 1 {
+			work = append(work, ci)
+		}
+	}
+	if w := opts.workers(); w > 1 && len(work) > 1 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range jobs {
+					st.classifyCell(tdp.Cell(ci))
+				}
+			}()
+		}
+		for _, ci := range work {
+			jobs <- ci
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for _, ci := range work {
+			st.classifyCell(tdp.Cell(ci))
+		}
+	}
+	if st.err != nil {
+		return nil, nil, st.err
+	}
+	cellOf := make([]int, n)
+	for i := range cellOf {
+		cellOf[i] = uf.find(i)
+	}
+	return partition.FromCellOf(cellOf), st.gens, nil
+}
+
+// searchState shares the union-find, generator list, and first error
+// across concurrently classified cells.
+type searchState struct {
+	g          *graph.Graph
+	opts       *Options
+	baseColors []int
+
+	mu   sync.Mutex
+	uf   *unionFind
+	gens []Perm
+	err  error
+}
+
+func (st *searchState) sameOrbit(a, b int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.uf.find(a) == st.uf.find(b)
+}
+
+func (st *searchState) addGenerator(perm Perm) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.gens = append(st.gens, perm)
+	for i, w := range perm {
+		st.uf.union(i, w)
+	}
+}
+
+func (st *searchState) failed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err != nil
+}
+
+func (st *searchState) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err == nil {
+		st.err = err
+	}
+}
+
+// classifyCell greedily groups the cell's vertices into orbit classes:
+// each vertex either maps onto an existing class root via a discovered
+// automorphism or becomes a new root.
+func (st *searchState) classifyCell(cell []int) {
+	if st.failed() {
+		return
+	}
+	pruning := !st.opts.orbitPruningDisabled()
+	var roots []int
+	for _, v := range cell {
+		if pruning && len(roots) > 0 && st.sameOrbit(v, roots[0]) {
+			continue // already known equivalent to the first root
+		}
+		matched := false
+		for _, r := range roots {
+			if pruning && st.sameOrbit(v, r) {
+				matched = true
+				break
+			}
+			perm, found, err := findMappingFastSlow(st.g, r, v, st.opts.budget(), st.baseColors)
+			if err != nil {
+				st.fail(fmt.Errorf("mapping %d→%d: %w", r, v, err))
+				return
+			}
+			if found {
+				st.addGenerator(perm)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			roots = append(roots, v)
+		}
+	}
+}
+
+func (o *Options) orbitPruningDisabled() bool { return o != nil && o.DisableOrbitPruning }
+
+// twinPairs returns pairs (u,v) with identical open neighborhoods
+// N(u) = N(v), or identical closed neighborhoods N[u] = N[v]. Each pair
+// is emitted against the first vertex seen with that signature, so
+// union-closing the pairs groups every twin class.
+func twinPairs(g *graph.Graph) [][2]int {
+	var pairs [][2]int
+	open := map[string]int{}
+	closed := map[string]int{}
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		key := intsKey(nbrs)
+		if u, ok := open[key]; ok {
+			pairs = append(pairs, [2]int{u, v})
+		} else {
+			open[key] = v
+		}
+		cn := make([]int, 0, len(nbrs)+1)
+		cn = append(cn, nbrs...)
+		cn = append(cn, v)
+		sort.Ints(cn)
+		ckey := intsKey(cn)
+		if u, ok := closed[ckey]; ok {
+			pairs = append(pairs, [2]int{u, v})
+		} else {
+			closed[ckey] = v
+		}
+	}
+	return pairs
+}
+
+// Generators returns automorphism generators sufficient to generate the
+// orbit partition (the same set OrbitPartition discovers).
+func Generators(g *graph.Graph, opts *Options) ([]Perm, error) {
+	_, gens, err := OrbitPartition(g, opts)
+	return gens, err
+}
+
+// fastSearchBudget caps the cheap first attempt of each pairwise
+// search. Backtracking is exhaustive whatever the pruning colors, so a
+// completed fast search (found or not) is authoritative; only a
+// budget-exceeded fast search falls through to the refined one.
+const fastSearchBudget = 1 << 15
+
+// findMappingFastSlow searches with the shared base colors first, then
+// retries with per-pair individualized refinement if the cheap search
+// exceeds its budget.
+func findMappingFastSlow(g *graph.Graph, src, dst int, budget int64, baseColors []int) (Perm, bool, error) {
+	if baseColors[src] != baseColors[dst] {
+		return nil, false, nil
+	}
+	fb := budget
+	if fb > fastSearchBudget {
+		fb = fastSearchBudget
+	}
+	s := &mappingSearch{g: g, ca: baseColors, cb: baseColors, budget: fb}
+	perm, found, err := s.run(src, dst)
+	if err == nil {
+		return perm, found, nil
+	}
+	return findMapping(g, src, dst, budget)
+}
+
+// findMapping searches for an automorphism of g with perm[src] = dst.
+// It individualizes src and dst, refines both colorings to canonical
+// ids, and backtracks over color-respecting assignments.
+func findMapping(g *graph.Graph, src, dst int, budget int64) (Perm, bool, error) {
+	n := g.N()
+	initA := make([]int, n)
+	initB := make([]int, n)
+	initA[src] = 1
+	initB[dst] = 1
+	ca := canonicalRefine(g, initA)
+	cb := canonicalRefine(g, initB)
+	if ca[src] != cb[dst] || !sameHistogram(ca, cb) {
+		return nil, false, nil
+	}
+	s := &mappingSearch{g: g, ca: ca, cb: cb, budget: budget}
+	return s.run(src, dst)
+}
+
+type mappingSearch struct {
+	g      *graph.Graph
+	ca, cb []int
+	budget int64
+	nodes  int64
+	order  []int
+	f, inv []int
+	// candidates by color in the target graph, for fast enumeration
+	byColor map[int][]int
+}
+
+func (s *mappingSearch) run(src, dst int) (Perm, bool, error) {
+	n := s.g.N()
+	s.f = make([]int, n)
+	s.inv = make([]int, n)
+	for i := range s.f {
+		s.f[i] = -1
+		s.inv[i] = -1
+	}
+	s.byColor = map[int][]int{}
+	for v := 0; v < n; v++ {
+		s.byColor[s.cb[v]] = append(s.byColor[s.cb[v]], v)
+	}
+	s.order = searchOrder(s.g, s.ca, src)
+	s.f[src] = dst
+	s.inv[dst] = src
+	ok, err := s.try(1)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return Perm(s.f), true, nil
+}
+
+func (s *mappingSearch) try(k int) (bool, error) {
+	if k == len(s.order) {
+		return true, nil
+	}
+	s.nodes++
+	if s.nodes > s.budget {
+		return false, ErrBudgetExceeded
+	}
+	u := s.order[k]
+	for _, v := range s.byColor[s.ca[u]] {
+		if s.inv[v] != -1 || !s.consistent(u, v) {
+			continue
+		}
+		s.f[u] = v
+		s.inv[v] = u
+		ok, err := s.try(k + 1)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		s.f[u] = -1
+		s.inv[v] = -1
+	}
+	return false, nil
+}
+
+func (s *mappingSearch) consistent(u, v int) bool {
+	mapped := 0
+	for _, w := range s.g.Neighbors(u) {
+		if fw := s.f[w]; fw != -1 {
+			if !s.g.HasEdge(v, fw) {
+				return false
+			}
+			mapped++
+		}
+	}
+	cnt := 0
+	for _, w := range s.g.Neighbors(v) {
+		if s.inv[w] != -1 {
+			cnt++
+		}
+	}
+	return cnt == mapped
+}
+
+// searchOrder returns a vertex order starting at src that keeps the
+// mapped frontier connected (BFS over a min-heap keyed by color rarity,
+// then index), so that adjacency constraints bind as early as possible.
+func searchOrder(g *graph.Graph, colors []int, src int) []int {
+	n := g.N()
+	maxColor := 0
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	count := make([]int, maxColor+1)
+	for _, c := range colors {
+		count[c]++
+	}
+	// Heap key: count[color]*n + vertex index (unique, strictly ordered).
+	key := func(v int) int64 { return int64(count[colors[v]])*int64(n) + int64(v) }
+	h := &intHeap{}
+	seen := make([]bool, n)
+	push := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			h.push(key(v))
+		}
+	}
+	order := make([]int, 0, n)
+	push(src)
+	next := 0 // scan cursor for disconnected components
+	for len(order) < n {
+		if h.len() == 0 {
+			for seen[next] {
+				next++
+			}
+			push(next)
+		}
+		v := int(h.pop() % int64(n))
+		order = append(order, v)
+		for _, w := range g.Neighbors(v) {
+			push(w)
+		}
+	}
+	return order
+}
+
+// intHeap is a minimal binary min-heap of int64 keys.
+type intHeap struct{ a []int64 }
+
+func (h *intHeap) len() int { return len(h.a) }
+
+func (h *intHeap) push(x int64) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int64 {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.a) && h.a[l] < h.a[smallest] {
+			smallest = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+	return top
+}
+
+// canonicalRefine iterates 1-WL refinement from the given initial colors
+// (which must be canonical by content) and returns stable colors whose
+// ids are canonical by content, hence comparable across two refinements
+// of the same graph with different individualizations.
+func canonicalRefine(g *graph.Graph, init []int) []int {
+	n := g.N()
+	color := append([]int(nil), init...)
+	distinct := func(c []int) int {
+		m := map[int]struct{}{}
+		for _, v := range c {
+			m[v] = struct{}{}
+		}
+		return len(m)
+	}
+	for round := 0; round < n; round++ {
+		sigs := make([]string, n)
+		for v := 0; v < n; v++ {
+			buf := make([]int, 0, g.Degree(v)+1)
+			buf = append(buf, color[v])
+			for _, w := range g.Neighbors(v) {
+				buf = append(buf, color[w])
+			}
+			sort.Ints(buf[1:])
+			sigs[v] = intsKey(buf)
+		}
+		rank := map[string]int{}
+		for _, s := range sigs {
+			rank[s] = 0
+		}
+		keys := make([]string, 0, len(rank))
+		for s := range rank {
+			keys = append(keys, s)
+		}
+		sort.Strings(keys)
+		for i, s := range keys {
+			rank[s] = i
+		}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			next[v] = rank[sigs[v]]
+		}
+		stable := distinct(next) == distinct(color)
+		color = next
+		if stable {
+			break
+		}
+	}
+	return color
+}
+
+func sameHistogram(a, b []int) bool {
+	h := map[int]int{}
+	for _, c := range a {
+		h[c]++
+	}
+	for _, c := range b {
+		h[c]--
+	}
+	for _, n := range h {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func intsKey(s []int) string {
+	b := make([]byte, 0, 4*len(s))
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// EnumerateAll exhaustively enumerates every automorphism of g (including
+// the identity). It returns an error if more than max automorphisms
+// exist or the node budget is exhausted; intended for small graphs and
+// for cross-checking the pairwise search.
+func EnumerateAll(g *graph.Graph, max int) ([]Perm, error) {
+	n := g.N()
+	if n == 0 {
+		return []Perm{{}}, nil
+	}
+	colors := canonicalRefine(g, make([]int, n))
+	byColor := map[int][]int{}
+	for v := 0; v < n; v++ {
+		byColor[colors[v]] = append(byColor[colors[v]], v)
+	}
+	order := searchOrder(g, colors, 0)
+	f := make([]int, n)
+	inv := make([]int, n)
+	for i := range f {
+		f[i] = -1
+		inv[i] = -1
+	}
+	var out []Perm
+	var nodes int64
+	s := &mappingSearch{g: g, ca: colors, cb: colors, f: f, inv: inv}
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == n {
+			out = append(out, append(Perm(nil), f...))
+			if len(out) > max {
+				return fmt.Errorf("automorphism: more than %d automorphisms", max)
+			}
+			return nil
+		}
+		nodes++
+		if nodes > DefaultNodeBudget {
+			return ErrBudgetExceeded
+		}
+		u := order[k]
+		for _, v := range byColor[colors[u]] {
+			if inv[v] != -1 || !s.consistent(u, v) {
+				continue
+			}
+			f[u] = v
+			inv[v] = u
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+			f[u] = -1
+			inv[v] = -1
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,356 @@
+package automorphism
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+	"ksymmetry/internal/refine"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func star(n int) *graph.Graph {
+	g := graph.New(n + 1)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func petersen() *graph.Graph {
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+		g.AddEdge(5+i, 5+(i+2)%5)
+		g.AddEdge(i, 5+i)
+	}
+	return g
+}
+
+func fig1Graph() *graph.Graph {
+	g := graph.New(8)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(3, 4)
+	g.AddEdge(3, 5)
+	g.AddEdge(4, 7)
+	g.AddEdge(5, 6)
+	g.AddEdge(7, 6)
+	return g
+}
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func orbitsOf(t *testing.T, g *graph.Graph) *partition.Partition {
+	t.Helper()
+	p, gens, err := OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range gens {
+		if !IsAutomorphism(g, gen) {
+			t.Fatalf("discovered generator %v is not an automorphism", gen)
+		}
+	}
+	return p
+}
+
+func TestOrbitsPath(t *testing.T) {
+	p := orbitsOf(t, pathGraph(5))
+	want := partition.MustFromCells(5, [][]int{{0, 4}, {1, 3}, {2}})
+	if !p.Equal(want) {
+		t.Fatalf("P5 orbits = %v, want %v", p, want)
+	}
+}
+
+func TestOrbitsVertexTransitive(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C6", cycle(6)},
+		{"K4", complete(4)},
+		{"Petersen", petersen()},
+	} {
+		p := orbitsOf(t, tc.g)
+		if p.NumCells() != 1 {
+			t.Errorf("%s orbits = %v, want single cell", tc.name, p)
+		}
+	}
+}
+
+func TestOrbitsStar(t *testing.T) {
+	p := orbitsOf(t, star(6))
+	want := partition.MustFromCells(7, [][]int{{0}, {1, 2, 3, 4, 5, 6}})
+	if !p.Equal(want) {
+		t.Fatalf("star orbits = %v, want %v", p, want)
+	}
+}
+
+func TestOrbitsFig1(t *testing.T) {
+	// §2.1: orbits of the Fig. 1 network are {1,3},{4,5},{6,8} with 2
+	// and 7 in singleton orbits (0-indexed: {0,2},{3,4},{5,7},{1},{6}).
+	p := orbitsOf(t, fig1Graph())
+	want := partition.MustFromCells(8, [][]int{{0, 2}, {1}, {3, 4}, {5, 7}, {6}})
+	if !p.Equal(want) {
+		t.Fatalf("Fig.1 orbits = %v, want %v", p, want)
+	}
+}
+
+func TestOrbitsSplitBeyondRefinement(t *testing.T) {
+	// C6 ⊎ C3 ⊎ C3: 2-regular, so refinement sees one cell, but the
+	// hexagon's vertices are not automorphic to the triangles'. The two
+	// triangles swap, so all 6 triangle vertices form one orbit.
+	g := graph.New(12)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(i, (i+1)%6)
+	}
+	g.AddEdge(6, 7)
+	g.AddEdge(7, 8)
+	g.AddEdge(8, 6)
+	g.AddEdge(9, 10)
+	g.AddEdge(10, 11)
+	g.AddEdge(11, 9)
+	tdp := refine.TotalDegreePartition(g)
+	if tdp.NumCells() != 1 {
+		t.Fatalf("TDP should be unit for 2-regular graph, got %v", tdp)
+	}
+	p := orbitsOf(t, g)
+	want := partition.MustFromCells(12, [][]int{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}})
+	if !p.Equal(want) {
+		t.Fatalf("orbits = %v, want %v", p, want)
+	}
+}
+
+func TestOrbitsAsymmetricGraph(t *testing.T) {
+	// The smallest asymmetric graphs have 6 vertices. This one: a
+	// triangle with pendant paths of lengths 1, 2 hung on two corners.
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(4, 5)
+	p := orbitsOf(t, g)
+	if !p.IsDiscrete() {
+		t.Fatalf("asymmetric graph orbits = %v, want discrete", p)
+	}
+}
+
+func TestOrbitsEmptyAndTrivial(t *testing.T) {
+	p, _, err := OrbitPartition(graph.New(0), nil)
+	if err != nil || p.N() != 0 {
+		t.Fatalf("empty: %v %v", p, err)
+	}
+	p = orbitsOf(t, graph.New(5)) // 5 isolated vertices: one orbit
+	if p.NumCells() != 1 {
+		t.Fatalf("isolated vertices orbits = %v", p)
+	}
+}
+
+func TestEnumerateAllCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"P3", pathGraph(3), 2},
+		{"P4", pathGraph(4), 2},
+		{"C4", cycle(4), 8},
+		{"C5", cycle(5), 10},
+		{"K4", complete(4), 24},
+		{"star5", star(5), 120},
+		{"Petersen", petersen(), 120},
+		{"K1", graph.New(1), 1},
+	}
+	for _, c := range cases {
+		auts, err := EnumerateAll(c.g, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(auts) != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.name, len(auts), c.want)
+		}
+		for _, a := range auts {
+			if !IsAutomorphism(c.g, a) {
+				t.Fatalf("%s: enumerated non-automorphism %v", c.name, a)
+			}
+		}
+	}
+}
+
+func TestEnumerateAllLimit(t *testing.T) {
+	if _, err := EnumerateAll(star(6), 10); err == nil {
+		t.Fatal("want error when |Aut| exceeds max")
+	}
+}
+
+func TestSchreierSimsMatchesEnumeration(t *testing.T) {
+	// The group generated by ALL automorphisms is Aut(G) itself, so the
+	// chain order must equal the enumeration count.
+	for _, g := range []*graph.Graph{cycle(5), complete(4), petersen(), fig1Graph()} {
+		auts, err := EnumerateAll(g, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grp := NewGroup(g.N(), auts)
+		if grp.Order().Int64() != int64(len(auts)) {
+			t.Fatalf("chain order %v != enumerated %d", grp.Order(), len(auts))
+		}
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	_, _, err := OrbitPartition(cycle(30), &Options{NodeBudget: 2})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestOrbitPruningAblationSameResult(t *testing.T) {
+	g := fig1Graph()
+	a, _, err := OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := OrbitPartition(g, &Options{DisableOrbitPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("pruning changed the result: %v vs %v", a, b)
+	}
+}
+
+func TestPropertyOrbitsFinerThanTDP(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(14, 0.25, seed)
+		p, _, err := OrbitPartition(g, nil)
+		if err != nil {
+			return false
+		}
+		return p.IsFinerThan(refine.TotalDegreePartition(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOrbitsInvariantUnderRelabel(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(12, 0.3, seed)
+		perm := rand.New(rand.NewSource(seed + 1)).Perm(g.N())
+		h := g.Permute(perm)
+		pg, _, err1 := OrbitPartition(g, nil)
+		ph, _, err2 := OrbitPartition(h, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if pg.NumCells() != ph.NumCells() {
+			return false
+		}
+		// perm must carry cells of pg onto cells of ph.
+		for _, cell := range pg.Cells() {
+			target := ph.CellIndexOf(perm[cell[0]])
+			for _, v := range cell {
+				if ph.CellIndexOf(perm[v]) != target {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOrbitsMatchEnumeration(t *testing.T) {
+	// Cross-validate the pairwise search against exhaustive enumeration
+	// on small random graphs.
+	f := func(seed int64) bool {
+		g := randomGraph(9, 0.3, seed)
+		p, _, err := OrbitPartition(g, nil)
+		if err != nil {
+			return false
+		}
+		auts, err := EnumerateAll(g, 1000000)
+		if err != nil {
+			return false
+		}
+		q := OrbitsFromGenerators(g.N(), auts)
+		return p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelOrbitPartitionMatchesSequential(t *testing.T) {
+	graphs := []*graph.Graph{
+		fig1Graph(),
+		petersen(),
+		randomGraph(30, 0.15, 3),
+		randomGraph(40, 0.1, 4),
+	}
+	for i, g := range graphs {
+		seq, _, err := OrbitPartition(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, gens, err := OrbitPartition(g, &Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(par) {
+			t.Fatalf("graph %d: parallel orbits differ:\n%v\n%v", i, seq, par)
+		}
+		for _, gen := range gens {
+			if !IsAutomorphism(g, gen) {
+				t.Fatalf("graph %d: parallel generator invalid", i)
+			}
+		}
+	}
+}

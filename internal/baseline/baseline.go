@@ -1,0 +1,305 @@
+// Package baseline implements the anonymization schemes the paper
+// positions k-symmetry against (§1, §6): naive relabeling, k-degree
+// anonymity (Liu & Terzi, SIGMOD'08), and random edge perturbation (Hay
+// et al.). The baseline-attack experiment shows that the combined
+// structural measure of §2.2 still re-identifies vertices these schemes
+// protect only partially, while k-symmetry drives unique
+// re-identification to zero.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ksymmetry/internal/graph"
+)
+
+// Naive performs naive anonymization: it relabels vertices with a
+// random permutation, returning the relabeled graph and the permutation
+// (perm[original] = published id). Structure is untouched, which is
+// exactly why structural re-identification defeats it (§1).
+func Naive(g *graph.Graph, seed int64) (*graph.Graph, []int) {
+	perm := rand.New(rand.NewSource(seed)).Perm(g.N())
+	return g.Permute(perm), perm
+}
+
+// RandomPerturbation deletes `rewires` random edges and inserts the
+// same number of random non-edges (Hay et al. 2007). The result has the
+// same edge count but perturbed structure.
+func RandomPerturbation(g *graph.Graph, rewires int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	h := g.Clone()
+	if rewires > h.M() {
+		rewires = h.M()
+	}
+	for i := 0; i < rewires; i++ {
+		es := h.Edges()
+		e := es[rng.Intn(len(es))]
+		h.RemoveEdge(e[0], e[1])
+	}
+	maxEdges := h.N() * (h.N() - 1) / 2
+	for added := 0; added < rewires && h.M() < maxEdges; {
+		u := rng.Intn(h.N())
+		v := rng.Intn(h.N())
+		if u != v && h.AddEdge(u, v) {
+			added++
+		}
+	}
+	return h
+}
+
+// KDegreeResult reports a k-degree anonymization outcome.
+type KDegreeResult struct {
+	Graph      *graph.Graph
+	EdgesAdded int
+	// EdgesRewired counts original edges moved by the GreedySwap-style
+	// fallback when pure insertion cannot realize the target sequence.
+	EdgesRewired int
+}
+
+// KDegree implements the Liu-Terzi k-degree anonymity baseline: an
+// optimal dynamic program raises the degree sequence to the cheapest
+// k-anonymous dominating sequence, then edge insertions (with a
+// rewiring fallback) realize it. After anonymization at least k
+// vertices share every degree value.
+func KDegree(g *graph.Graph, k int, seed int64) (*KDegreeResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be ≥ 1, got %d", k)
+	}
+	n := g.N()
+	if n == 0 {
+		return &KDegreeResult{Graph: g.Clone()}, nil
+	}
+	if k > n {
+		return nil, fmt.Errorf("baseline: k=%d exceeds vertex count %d", k, n)
+	}
+	// Vertices in descending degree order.
+	order := g.VerticesByDegreeDesc()
+	degs := make([]int, n)
+	for i, v := range order {
+		degs[i] = g.Degree(v)
+	}
+	targets, groups := anonymizeSequence(degs, k)
+	// Graphicality parity: the total raise must be even. If not, bump
+	// the target of a group with odd size (one must exist when the sum
+	// is odd, since Σ groupsize·target is odd only if some odd-sized
+	// group exists).
+	total := 0
+	for i := range degs {
+		total += targets[i] - degs[i]
+	}
+	if total%2 == 1 {
+		fixed := false
+		for _, grp := range groups {
+			if len(grp)%2 == 1 {
+				for _, i := range grp {
+					targets[i]++
+				}
+				fixed = true
+				break
+			}
+		}
+		if !fixed {
+			return nil, fmt.Errorf("baseline: cannot fix degree-sum parity")
+		}
+	}
+	// Map targets back to vertex ids and realize.
+	want := make([]int, n)
+	for i, v := range order {
+		want[v] = targets[i]
+	}
+	return realize(g, want, seed)
+}
+
+// anonymizeSequence computes, for a descending degree sequence, the
+// cheapest element-wise dominating sequence in which every value is
+// shared by at least k positions (degrees in one group are raised to
+// the group's maximum). It returns the target per position and the
+// groups (position index lists).
+func anonymizeSequence(degs []int, k int) ([]int, [][]int) {
+	n := len(degs)
+	if n < 2*k {
+		// Single group.
+		t := make([]int, n)
+		grp := make([]int, n)
+		for i := range t {
+			t[i] = degs[0]
+			grp[i] = i
+		}
+		return t, [][]int{grp}
+	}
+	const inf = int(^uint(0) >> 1)
+	// cost(i,j): raise positions i..j to degs[i].
+	prefix := make([]int, n+1)
+	for i, d := range degs {
+		prefix[i+1] = prefix[i] + d
+	}
+	cost := func(i, j int) int {
+		return degs[i]*(j-i+1) - (prefix[j+1] - prefix[i])
+	}
+	// dp[j]: min cost anonymizing positions 0..j-1; split[j]: start of
+	// the last group.
+	dp := make([]int, n+1)
+	split := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		dp[j] = inf
+		if j < k {
+			continue
+		}
+		// Last group starts at t (0-based), with k ≤ group ≤ 2k-1
+		// (groups of ≥ 2k can always split no more expensively).
+		lo := j - 2*k + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for t := lo; t <= j-k; t++ {
+			prev := 0
+			if t > 0 {
+				prev = dp[t]
+				if prev == inf {
+					continue
+				}
+			}
+			if c := prev + cost(t, j-1); c < dp[j] {
+				dp[j] = c
+				split[j] = t
+			}
+		}
+	}
+	// Reconstruct groups.
+	targets := make([]int, n)
+	var groups [][]int
+	j := n
+	for j > 0 {
+		t := split[j]
+		grp := make([]int, 0, j-t)
+		for i := t; i < j; i++ {
+			targets[i] = degs[t]
+			grp = append(grp, i)
+		}
+		groups = append(groups, grp)
+		j = t
+	}
+	return targets, groups
+}
+
+// realize adds edges (rewiring existing ones when stuck) until every
+// vertex v reaches degree want[v].
+func realize(g *graph.Graph, want []int, seed int64) (*KDegreeResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := g.Clone()
+	res := &KDegreeResult{Graph: h}
+	deficit := func(v int) int { return want[v] - h.Degree(v) }
+	pending := func() []int {
+		var vs []int
+		for v := 0; v < h.N(); v++ {
+			if deficit(v) > 0 {
+				vs = append(vs, v)
+			}
+		}
+		return vs
+	}
+	for {
+		vs := pending()
+		if len(vs) == 0 {
+			break
+		}
+		// Highest deficit first.
+		u := vs[0]
+		for _, v := range vs {
+			if deficit(v) > deficit(u) {
+				u = v
+			}
+		}
+		partner := -1
+		best := 0
+		for _, v := range vs {
+			if v != u && !h.HasEdge(u, v) && deficit(v) > best {
+				partner, best = v, deficit(v)
+			}
+		}
+		if partner >= 0 {
+			h.AddEdge(u, partner)
+			res.EdgesAdded++
+			continue
+		}
+		// GreedySwap fallback: remove an edge (a,b) disjoint from N[u],
+		// then connect u to both ends (net effect: deg(u) += 2, deg(a)
+		// and deg(b) unchanged).
+		if deficit(u) >= 2 {
+			if a, b, ok := findSwapEdge(h, rng, u, -1); ok {
+				h.RemoveEdge(a, b)
+				h.AddEdge(u, a)
+				h.AddEdge(u, b)
+				res.EdgesAdded++
+				res.EdgesRewired++
+				continue
+			}
+		}
+		// Two deficit-1 vertices that are adjacent: remove (a,b) with
+		// a ∉ N[u], b ∉ N[w], add (u,a) and (w,b).
+		if len(vs) >= 2 {
+			w := -1
+			for _, v := range vs {
+				if v != u {
+					w = v
+					break
+				}
+			}
+			if w >= 0 {
+				if a, b, ok := findSwapEdge(h, rng, u, w); ok {
+					h.RemoveEdge(a, b)
+					h.AddEdge(u, a)
+					h.AddEdge(w, b)
+					res.EdgesAdded++
+					res.EdgesRewired++
+					continue
+				}
+			}
+		}
+		return nil, fmt.Errorf("baseline: cannot realize degree sequence (stuck with %d deficient vertices)", len(vs))
+	}
+	return res, nil
+}
+
+// findSwapEdge finds an edge (a,b) with a not adjacent/equal to u and b
+// not adjacent/equal to w (w = -1 means "same as u").
+func findSwapEdge(g *graph.Graph, rng *rand.Rand, u, w int) (int, int, bool) {
+	if w < 0 {
+		w = u
+	}
+	es := g.Edges()
+	// Random starting point so repeated swaps spread across the graph.
+	off := 0
+	if len(es) > 0 {
+		off = rng.Intn(len(es))
+	}
+	for i := range es {
+		e := es[(i+off)%len(es)]
+		a, b := e[0], e[1]
+		if a != u && b != w && !g.HasEdge(u, a) && !g.HasEdge(w, b) && a != w && b != u {
+			return a, b, true
+		}
+		// Try the reversed orientation too.
+		a, b = b, a
+		if a != u && b != w && !g.HasEdge(u, a) && !g.HasEdge(w, b) && a != w && b != u {
+			return a, b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// IsKDegreeAnonymous reports whether every degree value in g is shared
+// by at least k vertices.
+func IsKDegreeAnonymous(g *graph.Graph, k int) bool {
+	counts := map[int]int{}
+	for v := 0; v < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	for _, c := range counts {
+		if c < k {
+			return false
+		}
+	}
+	return true
+}

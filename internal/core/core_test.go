@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"ksymmetry/internal/datasets"
+)
+
+// TestPipeline exercises the full publish/recover pipeline through the
+// core facade: orbits → anonymize → backbone → sample.
+func TestPipeline(t *testing.T) {
+	g := datasets.Fig3()
+	orb, gens, err := OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) == 0 {
+		t.Fatal("Fig3 has non-trivial automorphisms")
+	}
+	res, err := Anonymize(g, orb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := OrbitPartition(res.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsKSymmetric(after, 3) {
+		t.Fatal("anonymized graph not 3-symmetric")
+	}
+	bb := Backbone(res.Graph, res.Partition)
+	if bb.Graph.N() >= res.Graph.N() {
+		t.Fatal("backbone should shrink the anonymized graph")
+	}
+	s, err := SampleApproximate(res.Graph, res.Partition, g.N(), NewSamplingOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != g.N() {
+		t.Fatalf("sample size %d, want %d", s.N(), g.N())
+	}
+	s2, err := SampleExact(res.Graph, res.Partition, g.N(), NewSamplingOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N() < g.N() {
+		t.Fatalf("exact sample too small: %d", s2.N())
+	}
+	min, err := MinimalAnonymize(g, orb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.VerticesAdded() > res.VerticesAdded() {
+		t.Fatal("minimal anonymization worse than plain")
+	}
+	excl, err := AnonymizeF(g, orb, func(cell []int) int { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if excl.VerticesAdded() != 0 {
+		t.Fatal("target 1 must be a no-op")
+	}
+	if NewGraph(3).N() != 3 {
+		t.Fatal("NewGraph wrong")
+	}
+}

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ksymmetry/internal/core"
+	"ksymmetry/internal/datasets"
+)
+
+// The full publish pipeline on the paper's Figure 3 graph.
+func Example() {
+	g := datasets.Fig3()
+	orb, _, err := core.OrbitPartition(g, nil)
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Anonymize(g, orb, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("added %d vertices and %d edges\n", res.VerticesAdded(), res.EdgesAdded())
+	after, _, _ := core.OrbitPartition(res.Graph, nil)
+	fmt.Printf("3-symmetric: %v\n", core.IsKSymmetric(after, 3))
+	// Output:
+	// added 10 vertices and 36 edges
+	// 3-symmetric: true
+}

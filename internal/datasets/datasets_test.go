@@ -1,0 +1,237 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/refine"
+)
+
+func TestFig1Properties(t *testing.T) {
+	g := Fig1()
+	if g.N() != 8 || g.M() != 9 {
+		t.Fatalf("Fig1: N=%d M=%d", g.N(), g.M())
+	}
+	// Bob (1) has exactly two degree-1 neighbors.
+	ones := 0
+	for _, u := range g.Neighbors(1) {
+		if g.Degree(u) == 1 {
+			ones++
+		}
+	}
+	if ones != 2 {
+		t.Fatalf("Bob has %d degree-1 neighbors, want 2", ones)
+	}
+	// Candidate set under "at least 3 neighbors" = {1,3,4} (the paper's
+	// {2,4,5} in 1-indexing).
+	var cands []int
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) >= 3 {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) != 3 || cands[0] != 1 || cands[1] != 3 || cands[2] != 4 {
+		t.Fatalf("P1 candidates = %v, want [1 3 4]", cands)
+	}
+}
+
+func TestFig3Orbits(t *testing.T) {
+	g := Fig3()
+	p, _, err := automorphism.OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCells() != 5 {
+		t.Fatalf("Fig3 orbits = %v, want 5 cells", p)
+	}
+	for _, pair := range [][2]int{{0, 1}, {3, 4}, {5, 6}} {
+		if p.CellIndexOf(pair[0]) != p.CellIndexOf(pair[1]) {
+			t.Fatalf("vertices %v should share an orbit: %v", pair, p)
+		}
+	}
+}
+
+func TestFig4IsP3(t *testing.T) {
+	g := Fig4()
+	if g.N() != 3 || g.M() != 2 || g.Degree(0) != 2 {
+		t.Fatalf("Fig4 malformed: N=%d M=%d deg0=%d", g.N(), g.M(), g.Degree(0))
+	}
+}
+
+func TestClassicGraphs(t *testing.T) {
+	if g := Cycle(5); g.N() != 5 || g.M() != 5 {
+		t.Fatal("Cycle(5) wrong")
+	}
+	if g := Path(5); g.N() != 5 || g.M() != 4 {
+		t.Fatal("Path(5) wrong")
+	}
+	if g := Complete(5); g.M() != 10 {
+		t.Fatal("Complete(5) wrong")
+	}
+	if g := Star(5); g.N() != 6 || g.Degree(0) != 5 {
+		t.Fatal("Star(5) wrong")
+	}
+	if g := Petersen(); g.N() != 10 || g.M() != 15 || g.MinDegree() != 3 || g.MaxDegree() != 3 {
+		t.Fatal("Petersen wrong")
+	}
+}
+
+func TestErdosRenyiGM(t *testing.T) {
+	g := ErdosRenyiGM(50, 100, 1)
+	if g.N() != 50 || g.M() != 100 {
+		t.Fatalf("ER: N=%d M=%d", g.N(), g.M())
+	}
+	// Determinism.
+	if !g.Equal(ErdosRenyiGM(50, 100, 1)) {
+		t.Fatal("same seed produced different ER graphs")
+	}
+	if g.Equal(ErdosRenyiGM(50, 100, 2)) {
+		t.Fatal("different seeds produced identical ER graphs")
+	}
+}
+
+func TestErdosRenyiTooManyEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for infeasible m")
+		}
+	}()
+	ErdosRenyiGM(3, 10, 1)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(200, 3, 2, 7)
+	if g.N() != 200 {
+		t.Fatalf("BA: N=%d", g.N())
+	}
+	// m0-1 initial edges + 2 per subsequent vertex.
+	want := 2 + 2*(200-3)
+	if g.M() != want {
+		t.Fatalf("BA: M=%d, want %d", g.M(), want)
+	}
+	// Preferential attachment produces a right-skewed distribution.
+	if g.MaxDegree() < 8 {
+		t.Fatalf("BA max degree %d suspiciously small", g.MaxDegree())
+	}
+	if !g.Equal(BarabasiAlbert(200, 3, 2, 7)) {
+		t.Fatal("BA not deterministic")
+	}
+}
+
+func TestConfigurationModel(t *testing.T) {
+	degs := []int{3, 3, 2, 2, 1, 1}
+	g := ConfigurationModel(degs, 3)
+	if g.N() != 6 {
+		t.Fatalf("CM: N=%d", g.N())
+	}
+	// Erasure only reduces: realized degree ≤ requested.
+	for v, d := range degs {
+		if g.Degree(v) > d {
+			t.Fatalf("vertex %d degree %d exceeds requested %d", v, g.Degree(v), d)
+		}
+	}
+}
+
+func TestConfigurationModelOddSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd degree sum did not panic")
+		}
+	}()
+	ConfigurationModel([]int{1, 1, 1}, 1)
+}
+
+func checkCalibration(t *testing.T, name string, g *graph.Graph, wantN, wantM, wantMaxDeg int, wantAvg float64) {
+	t.Helper()
+	if g.N() != wantN {
+		t.Errorf("%s: N=%d, want %d", name, g.N(), wantN)
+	}
+	// Erasure and connectivity patching move edge counts a little:
+	// allow 5%.
+	if math.Abs(float64(g.M()-wantM)) > 0.05*float64(wantM) {
+		t.Errorf("%s: M=%d, want ≈%d", name, g.M(), wantM)
+	}
+	if math.Abs(g.AvgDegree()-wantAvg) > 0.3 {
+		t.Errorf("%s: avg degree %.2f, want ≈%.2f", name, g.AvgDegree(), wantAvg)
+	}
+	if g.MaxDegree() > wantMaxDeg+wantMaxDeg/5 {
+		t.Errorf("%s: max degree %d overshoots %d", name, g.MaxDegree(), wantMaxDeg)
+	}
+	if g.MinDegree() < 1 {
+		t.Errorf("%s: isolated vertex present", name)
+	}
+	if !g.IsConnected() {
+		t.Errorf("%s: not connected", name)
+	}
+}
+
+func TestEnronCalibration(t *testing.T) {
+	checkCalibration(t, "Enron", Enron(DefaultSeed), 111, 287, 20, 5.17)
+}
+
+func TestHepthCalibration(t *testing.T) {
+	checkCalibration(t, "Hepth", Hepth(DefaultSeed), 2510, 4737, 36, 3.77)
+}
+
+func TestNetTraceCalibration(t *testing.T) {
+	g := NetTrace(DefaultSeed)
+	checkCalibration(t, "Net-trace", g, 4213, 5507, 1656, 2.61)
+	if g.MaxDegree() < 1400 {
+		t.Errorf("Net-trace hub degree %d, want ≈1656", g.MaxDegree())
+	}
+	if g.MedianDegree() != 1 {
+		t.Errorf("Net-trace median degree %d, want 1", g.MedianDegree())
+	}
+}
+
+func TestCalibratedNetworksHaveSymmetry(t *testing.T) {
+	// The paper's methods need non-trivial orbits (mostly degree-1
+	// twins). Check via the refinement partition, which upper-bounds
+	// orbit structure: a graph whose TDP is discrete is asymmetric.
+	for _, name := range NetworkNames() {
+		g := Networks()[name]
+		tdp := refine.TotalDegreePartition(g)
+		nonSingleton := tdp.N() - tdp.SingletonCount()
+		if nonSingleton < g.N()/20 {
+			t.Errorf("%s: only %d of %d vertices in non-singleton TDP cells", name, nonSingleton, g.N())
+		}
+	}
+}
+
+func TestNetworksDeterministic(t *testing.T) {
+	a := Networks()
+	b := Networks()
+	for _, name := range NetworkNames() {
+		if !a[name].Equal(b[name]) {
+			t.Errorf("%s not deterministic", name)
+		}
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(50, 4, 0.1, 3)
+	if g.N() != 50 || g.M() != 100 {
+		t.Fatalf("WS: N=%d M=%d, want 50, 100", g.N(), g.M())
+	}
+	if !g.Equal(WattsStrogatz(50, 4, 0.1, 3)) {
+		t.Fatal("WS not deterministic")
+	}
+	// beta=0: pure ring lattice, vertex-transitive, 2-regular per side.
+	ring := WattsStrogatz(20, 4, 0, 1)
+	for v := 0; v < 20; v++ {
+		if ring.Degree(v) != 4 {
+			t.Fatalf("ring lattice degree %d at %d", ring.Degree(v), v)
+		}
+	}
+}
+
+func TestWattsStrogatzBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd k did not panic")
+		}
+	}()
+	WattsStrogatz(10, 3, 0.1, 1)
+}

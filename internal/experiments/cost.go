@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/sampling"
+	"ksymmetry/internal/stats"
+)
+
+// Fig10Row is one point of the Figure 10 cost curves: anonymization
+// cost on Net-trace when a fraction of hub vertices is excluded from
+// protection.
+type Fig10Row struct {
+	K             int
+	FractionExcl  float64
+	VerticesAdded int
+	EdgesAdded    int
+}
+
+// Figure10 prints and returns the anonymization cost sweep over the
+// fraction of hubs excluded from protection, for each k (paper
+// Figure 10, Net-trace).
+func Figure10(w io.Writer, e *Env, ks []int, fracs []float64) []Fig10Row {
+	g := e.Graph("Net-trace")
+	orb := e.Orbits("Net-trace")
+	fprintf(w, "Figure 10: anonymization cost vs fraction of hubs excluded (Net-trace)\n")
+	fprintf(w, "%4s %10s %12s %12s\n", "k", "excluded", "+vertices", "+edges")
+	var out []Fig10Row
+	for _, k := range ks {
+		for _, f := range fracs {
+			res, err := ksym.AnonymizeF(g, orb, ksym.TopFractionTarget(g, k, f))
+			if err != nil {
+				panic("experiments: figure 10: " + err.Error())
+			}
+			row := Fig10Row{K: k, FractionExcl: f, VerticesAdded: res.VerticesAdded(), EdgesAdded: res.EdgesAdded()}
+			out = append(out, row)
+			fprintf(w, "%4d %10.2f %12d %12d\n", k, f, row.VerticesAdded, row.EdgesAdded)
+		}
+	}
+	return out
+}
+
+// Fig11Row is one point of the Figure 11 utility curves: average KS
+// statistic when hubs are excluded.
+type Fig11Row struct {
+	K            int
+	FractionExcl float64
+	KSDegree     float64
+	KSPathLength float64
+}
+
+// Figure11 prints and returns the utility improvement sweep: the
+// average KS statistic (degree and path-length) over `samples` sampled
+// graphs, as the excluded hub fraction grows (paper Figure 11,
+// Net-trace).
+func Figure11(w io.Writer, e *Env, ks []int, fracs []float64, samples, pathPairs int) []Fig11Row {
+	g := e.Graph("Net-trace")
+	orb := e.Orbits("Net-trace")
+	fprintf(w, "Figure 11: utility when excluding hubs (Net-trace, %d samples)\n", samples)
+	fprintf(w, "%4s %10s %12s %12s\n", "k", "excluded", "avgKS(deg)", "avgKS(path)")
+	var out []Fig11Row
+	for _, k := range ks {
+		for _, f := range fracs {
+			res, err := ksym.AnonymizeF(g, orb, ksym.TopFractionTarget(g, k, f))
+			if err != nil {
+				panic("experiments: figure 11: " + err.Error())
+			}
+			rng := rand.New(rand.NewSource(e.Seed + 606))
+			origDeg := stats.DegreeSample(g)
+			origPath := stats.PathLengthSample(g, pathPairs, rng)
+			var degS, pathS []stats.Sample
+			for i := 0; i < samples; i++ {
+				s, err := sampling.Approximate(res.Graph, res.Partition, g.N(), &sampling.Options{Rng: rng})
+				if err != nil {
+					panic("experiments: figure 11 sampling: " + err.Error())
+				}
+				degS = append(degS, stats.DegreeSample(s))
+				pathS = append(pathS, stats.PathLengthSample(s, pathPairs, rng))
+			}
+			row := Fig11Row{
+				K: k, FractionExcl: f,
+				KSDegree:     stats.AverageKS(origDeg, degS),
+				KSPathLength: stats.AverageKS(origPath, pathS),
+			}
+			out = append(out, row)
+			fprintf(w, "%4d %10.2f %12.3f %12.3f\n", k, f, row.KSDegree, row.KSPathLength)
+		}
+	}
+	return out
+}
+
+// MinRow compares plain Algorithm 1 against backbone-minimal
+// anonymization (§5.1) on one network.
+type MinRow struct {
+	Network       string
+	K             int
+	PlainVertices int
+	PlainEdges    int
+	MinVertices   int
+	MinEdges      int
+}
+
+// MinimalAnonymization prints and returns the §5.1 comparison: vertices
+// and edges added by Algorithm 1 versus the backbone-rebuild strategy.
+func MinimalAnonymization(w io.Writer, e *Env, k int, networks []string) []MinRow {
+	fprintf(w, "§5.1: plain vs backbone-minimal anonymization (k=%d)\n", k)
+	fprintf(w, "%-10s %10s %10s %10s %10s\n", "Network", "+V plain", "+E plain", "+V min", "+E min")
+	var out []MinRow
+	for _, name := range networks {
+		g := e.Graph(name)
+		orb := e.Orbits(name)
+		plain, err := ksym.Anonymize(g, orb, k)
+		if err != nil {
+			panic("experiments: minimal: " + err.Error())
+		}
+		min, err := ksym.MinimalAnonymize(g, orb, k)
+		if err != nil {
+			panic("experiments: minimal: " + err.Error())
+		}
+		row := MinRow{
+			Network: name, K: k,
+			PlainVertices: plain.VerticesAdded(), PlainEdges: plain.EdgesAdded(),
+			MinVertices: min.VerticesAdded(), MinEdges: min.EdgesAdded(),
+		}
+		out = append(out, row)
+		fprintf(w, "%-10s %10d %10d %10d %10d\n", name, row.PlainVertices, row.PlainEdges, row.MinVertices, row.MinEdges)
+	}
+	return out
+}

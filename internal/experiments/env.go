@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §2 for the experiment index). Each
+// runner prints the rows/series the paper reports and returns them as
+// structured data so benchmarks and tests can assert on shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+// Env caches the evaluation networks and their (expensive) automorphism
+// partitions across experiment runs.
+type Env struct {
+	// Seed drives dataset generation and every sampler.
+	Seed int64
+
+	mu     sync.Mutex
+	graphs map[string]*graph.Graph
+	orbits map[string]*partition.Partition
+}
+
+// NewEnv returns an environment seeded for reproducible runs.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		Seed:   seed,
+		graphs: map[string]*graph.Graph{},
+		orbits: map[string]*partition.Partition{},
+	}
+}
+
+// Names returns the evaluation networks in the paper's order.
+func (e *Env) Names() []string { return datasets.NetworkNames() }
+
+// Graph returns (and caches) the named calibrated network.
+func (e *Env) Graph(name string) *graph.Graph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g, ok := e.graphs[name]; ok {
+		return g
+	}
+	var g *graph.Graph
+	switch name {
+	case "Enron":
+		g = datasets.Enron(e.Seed)
+	case "Hepth":
+		g = datasets.Hepth(e.Seed)
+	case "Net-trace":
+		g = datasets.NetTrace(e.Seed)
+	default:
+		panic(fmt.Sprintf("experiments: unknown network %q", name))
+	}
+	e.graphs[name] = g
+	return g
+}
+
+// Orbits returns (and caches) the exact automorphism partition of the
+// named network.
+func (e *Env) Orbits(name string) *partition.Partition {
+	g := e.Graph(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.orbits[name]; ok {
+		return p
+	}
+	p, _, err := automorphism.OrbitPartition(g, nil)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: orbit computation on %s: %v", name, err))
+	}
+	e.orbits[name] = p
+	return p
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ksymmetry/internal/datasets"
+)
+
+// The test environment is shared so the orbit partitions are computed
+// once per test binary.
+var testEnv = NewEnv(datasets.DefaultSeed)
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table1(&buf, testEnv)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Name != "Enron" || rows[0].Vertices != 111 {
+		t.Fatalf("first row = %+v", rows[0])
+	}
+	if !strings.Contains(buf.String(), "Net-trace") {
+		t.Fatal("output missing Net-trace row")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	rows := Figure2(nil, testEnv)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 3 networks × 3 measures", len(rows))
+	}
+	byKey := map[string]Fig2Row{}
+	for _, r := range rows {
+		byKey[r.Network+"/"+r.Measure] = r
+	}
+	for _, name := range testEnv.Names() {
+		comb := byKey[name+"/combined"]
+		deg := byKey[name+"/degree"]
+		tri := byKey[name+"/triangle"]
+		// The paper's Figure 2 claim: the combined measure dominates
+		// each single measure, in both statistics.
+		if comb.RF < deg.RF || comb.RF < tri.RF {
+			t.Errorf("%s: combined r_f %.3f below single measures (%.3f, %.3f)", name, comb.RF, deg.RF, tri.RF)
+		}
+		if comb.SF < deg.SF || comb.SF < tri.SF {
+			t.Errorf("%s: combined s_f %.3f below single measures (%.3f, %.3f)", name, comb.SF, deg.SF, tri.SF)
+		}
+		if comb.RF < 0.3 {
+			t.Errorf("%s: combined r_f %.3f too weak to motivate the model", name, comb.RF)
+		}
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	rows := Figure8(nil, testEnv, 5, 3, 100)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.KSDegree < 0 || r.KSDegree > 1 || r.KSPathLength < 0 || r.KSPathLength > 1 {
+			t.Errorf("%s: KS out of range: %+v", r.Network, r)
+		}
+		if len(r.ResilienceOrig) != len(resilienceFracs) {
+			t.Errorf("%s: resilience series truncated", r.Network)
+		}
+	}
+	// On the well-behaved networks the sampled distributions track the
+	// originals closely (paper Figure 8).
+	for _, r := range rows[:2] { // Enron, Hepth
+		if r.KSDegree > 0.25 {
+			t.Errorf("%s: KS(degree) = %.3f, expected close match", r.Network, r.KSDegree)
+		}
+		if r.KSPathLength > 0.25 {
+			t.Errorf("%s: KS(path) = %.3f, expected close match", r.Network, r.KSPathLength)
+		}
+	}
+}
+
+func TestFigure9Convergence(t *testing.T) {
+	rows := Figure9(nil, testEnv, []int{5}, 10, 100, []int{1, 5, 10})
+	if len(rows) != 9 { // 3 networks × 3 counts
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.KSDegree < 0 || r.KSDegree > 1 {
+			t.Errorf("KS out of range: %+v", r)
+		}
+	}
+}
+
+func TestFigure10CostDecreasesWithExclusion(t *testing.T) {
+	rows := Figure10(nil, testEnv, []int{5, 10}, []float64{0, 0.01, 0.05})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byK := map[int][]Fig10Row{}
+	for _, r := range rows {
+		byK[r.K] = append(byK[r.K], r)
+	}
+	for k, series := range byK {
+		for i := 1; i < len(series); i++ {
+			if series[i].EdgesAdded >= series[i-1].EdgesAdded {
+				t.Errorf("k=%d: edge cost did not decrease with exclusion: %+v", k, series)
+			}
+		}
+		// The §5.2 claim: excluding 5%% of hubs saves the large
+		// majority of edge insertions.
+		last := series[len(series)-1]
+		first := series[0]
+		if float64(last.EdgesAdded) > 0.5*float64(first.EdgesAdded) {
+			t.Errorf("k=%d: 5%% exclusion saved only %d→%d edges", k, first.EdgesAdded, last.EdgesAdded)
+		}
+		// Edges dominate cost (Figure 10 observation).
+		if first.EdgesAdded < first.VerticesAdded {
+			t.Errorf("k=%d: expected edges to dominate cost: %+v", k, first)
+		}
+	}
+}
+
+func TestFigure11UtilityImprovesWithExclusion(t *testing.T) {
+	rows := Figure11(nil, testEnv, []int{10}, []float64{0, 0.05}, 5, 100)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].KSDegree >= rows[0].KSDegree {
+		t.Errorf("degree KS did not improve with exclusion: %.3f → %.3f", rows[0].KSDegree, rows[1].KSDegree)
+	}
+}
+
+func TestMinimalAnonymizationNeverWorse(t *testing.T) {
+	rows := MinimalAnonymization(nil, testEnv, 5, []string{"Enron"})
+	for _, r := range rows {
+		if r.MinVertices > r.PlainVertices {
+			t.Errorf("%s: minimal added more vertices (%d > %d)", r.Network, r.MinVertices, r.PlainVertices)
+		}
+	}
+}
+
+func TestSamplerComparison(t *testing.T) {
+	rows := SamplerComparison(nil, testEnv, 5, 5, 100)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// §4.3: exact and approximate results are nearly the same (within a
+	// loose tolerance at these tiny sample counts).
+	var exact, approx CompareRow
+	for _, r := range rows {
+		if r.Weights != "inverse-degree" {
+			continue
+		}
+		if r.Sampler == "exact" {
+			exact = r
+		} else {
+			approx = r
+		}
+	}
+	if d := exact.KSDegree - approx.KSDegree; d > 0.2 || d < -0.2 {
+		t.Errorf("exact vs approximate diverge: %.3f vs %.3f", exact.KSDegree, approx.KSDegree)
+	}
+}
+
+func TestBaselineAttackShape(t *testing.T) {
+	rows := BaselineAttack(nil, testEnv, 5)
+	byKey := map[string]AttackRow{}
+	for _, r := range rows {
+		byKey[r.Scheme+"/"+r.Measure] = r
+	}
+	if r := byKey["k-symmetry/combined"]; r.UniqueRate != 0 {
+		t.Errorf("k-symmetry leaks under combined measure: %.3f", r.UniqueRate)
+	}
+	if r := byKey["k-symmetry/degree"]; r.UniqueRate != 0 {
+		t.Errorf("k-symmetry leaks under degree measure: %.3f", r.UniqueRate)
+	}
+	if r := byKey["k-degree/degree"]; r.UniqueRate != 0 {
+		t.Errorf("k-degree must block the degree measure: %.3f", r.UniqueRate)
+	}
+	if r := byKey["k-degree/combined"]; r.UniqueRate <= 0 {
+		t.Error("k-degree expected to leak under the combined measure")
+	}
+	if r := byKey["naive/combined"]; r.UniqueRate < 0.3 {
+		t.Errorf("naive anonymization should leak heavily: %.3f", r.UniqueRate)
+	}
+}
+
+func TestEnvUnknownNetworkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown network did not panic")
+		}
+	}()
+	testEnv.Graph("nope")
+}
+
+func TestExtendedUtility(t *testing.T) {
+	rows := ExtendedUtility(nil, testEnv, 5, 3)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.KSBetweenness < 0 || r.KSBetweenness > 1 {
+			t.Errorf("%s: KS(betweenness) = %v", r.Network, r.KSBetweenness)
+		}
+		if r.AssortativityOrig < -1 || r.AssortativityOrig > 1 {
+			t.Errorf("%s: assortativity out of range", r.Network)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/partition"
+	"ksymmetry/internal/sampling"
+	"ksymmetry/internal/stats"
+)
+
+// resilienceFracs is the removal-fraction grid of Figure 8's
+// "Resiliency" panel.
+var resilienceFracs = []float64{0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6}
+
+// Fig8Row summarizes the utility preservation panels of Figure 8 for
+// one network: KS distances between the original graph's distributions
+// and the pooled distributions of the sampled graphs, plus both
+// resilience curves.
+type Fig8Row struct {
+	Network             string
+	K, Samples          int
+	KSDegree            float64
+	KSPathLength        float64
+	KSClustering        float64
+	ResilienceOrig      []float64
+	ResilienceSampled   []float64
+	MaxResilienceGap    float64
+	OriginalMeanDegree  float64
+	SampledMeanDegree   float64
+	OriginalMeanClust   float64
+	SampledMeanClust    float64
+	OriginalMeanPathLen float64
+	SampledMeanPathLen  float64
+}
+
+// drawSamples anonymizes (g, orb) with k and draws count approximate
+// backbone samples of size |V(g)|.
+func drawSamples(g *graph.Graph, orb *partition.Partition, k, count int, seed int64) ([]*graph.Graph, *ksym.Result) {
+	res, err := ksym.Anonymize(g, orb, k)
+	if err != nil {
+		panic("experiments: anonymize: " + err.Error())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, count)
+	for i := range out {
+		s, err := sampling.Approximate(res.Graph, res.Partition, g.N(), &sampling.Options{Rng: rng})
+		if err != nil {
+			panic("experiments: sampling: " + err.Error())
+		}
+		out[i] = s
+	}
+	return out, res
+}
+
+// Figure8 prints and returns the utility-preservation comparison (paper
+// Figure 8): per network, the original graph versus the aggregate of
+// `samples` approximate-backbone samples at the given k, across degree,
+// path-length, transitivity, and resilience.
+func Figure8(w io.Writer, e *Env, k, samples, pathPairs int) []Fig8Row {
+	fprintf(w, "Figure 8: utility preservation (k=%d, %d samples, %d path pairs)\n", k, samples, pathPairs)
+	fprintf(w, "%-10s %10s %10s %10s %10s | %s\n",
+		"Network", "KS(deg)", "KS(path)", "KS(clust)", "maxΔresil", "mean deg orig→sample, mean path orig→sample")
+	var out []Fig8Row
+	for _, name := range e.Names() {
+		g := e.Graph(name)
+		orb := e.Orbits(name)
+		sampleGraphs, _ := drawSamples(g, orb, k, samples, e.Seed+101)
+		rng := rand.New(rand.NewSource(e.Seed + 202))
+
+		origDeg := stats.DegreeSample(g)
+		origPath := stats.PathLengthSample(g, pathPairs, rng)
+		origClust := stats.ClusteringSample(g)
+		origRes := stats.Resilience(g, resilienceFracs)
+
+		var degS, pathS, clustS []stats.Sample
+		resAgg := make([]float64, len(resilienceFracs))
+		for _, s := range sampleGraphs {
+			degS = append(degS, stats.DegreeSample(s))
+			pathS = append(pathS, stats.PathLengthSample(s, pathPairs, rng))
+			clustS = append(clustS, stats.ClusteringSample(s))
+			for i, r := range stats.Resilience(s, resilienceFracs) {
+				resAgg[i] += r / float64(len(sampleGraphs))
+			}
+		}
+		row := Fig8Row{
+			Network: name, K: k, Samples: samples,
+			KSDegree:            stats.KolmogorovSmirnov(origDeg, stats.Merge(degS)),
+			KSPathLength:        stats.KolmogorovSmirnov(origPath, stats.Merge(pathS)),
+			KSClustering:        stats.KolmogorovSmirnov(origClust, stats.Merge(clustS)),
+			ResilienceOrig:      origRes,
+			ResilienceSampled:   resAgg,
+			OriginalMeanDegree:  origDeg.Mean(),
+			SampledMeanDegree:   stats.Merge(degS).Mean(),
+			OriginalMeanClust:   origClust.Mean(),
+			SampledMeanClust:    stats.Merge(clustS).Mean(),
+			OriginalMeanPathLen: origPath.Mean(),
+			SampledMeanPathLen:  stats.Merge(pathS).Mean(),
+		}
+		for i := range origRes {
+			if d := absf(origRes[i] - resAgg[i]); d > row.MaxResilienceGap {
+				row.MaxResilienceGap = d
+			}
+		}
+		out = append(out, row)
+		fprintf(w, "%-10s %10.3f %10.3f %10.3f %10.3f | deg %.2f→%.2f, path %.2f→%.2f\n",
+			name, row.KSDegree, row.KSPathLength, row.KSClustering, row.MaxResilienceGap,
+			row.OriginalMeanDegree, row.SampledMeanDegree, row.OriginalMeanPathLen, row.SampledMeanPathLen)
+		fprintf(w, "           resilience orig:    ")
+		for _, r := range row.ResilienceOrig {
+			fprintf(w, "%6.3f", r)
+		}
+		fprintf(w, "\n           resilience sampled: ")
+		for _, r := range row.ResilienceSampled {
+			fprintf(w, "%6.3f", r)
+		}
+		fprintf(w, "\n")
+	}
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Fig9Row is one point of the Figure 9 convergence curves: the average
+// KS statistic over the first `Samples` sampled graphs.
+type Fig9Row struct {
+	Network      string
+	K            int
+	Samples      int
+	KSDegree     float64
+	KSPathLength float64
+}
+
+// Figure9 prints and returns the convergence of the average KS
+// statistic (degree and path-length distributions) as the number of
+// sampled graphs grows from 1 to maxSamples, for each k (paper
+// Figure 9).
+func Figure9(w io.Writer, e *Env, ks []int, maxSamples, pathPairs int, counts []int) []Fig9Row {
+	fprintf(w, "Figure 9: convergence of average KS statistic with sample count\n")
+	var out []Fig9Row
+	for _, k := range ks {
+		for _, name := range e.Names() {
+			g := e.Graph(name)
+			orb := e.Orbits(name)
+			sampleGraphs, _ := drawSamples(g, orb, k, maxSamples, e.Seed+303)
+			rng := rand.New(rand.NewSource(e.Seed + 404))
+			origDeg := stats.DegreeSample(g)
+			origPath := stats.PathLengthSample(g, pathPairs, rng)
+			// Per-sample KS values, then prefix averages.
+			ksDeg := make([]float64, maxSamples)
+			ksPath := make([]float64, maxSamples)
+			for i, s := range sampleGraphs {
+				ksDeg[i] = stats.KolmogorovSmirnov(origDeg, stats.DegreeSample(s))
+				ksPath[i] = stats.KolmogorovSmirnov(origPath, stats.PathLengthSample(s, pathPairs, rng))
+			}
+			fprintf(w, "%-10s k=%-3d %8s %10s %10s\n", name, k, "#samples", "avgKS(deg)", "avgKS(path)")
+			sumD, sumP := 0.0, 0.0
+			ci := 0
+			for i := 0; i < maxSamples; i++ {
+				sumD += ksDeg[i]
+				sumP += ksPath[i]
+				if ci < len(counts) && counts[ci] == i+1 {
+					row := Fig9Row{
+						Network: name, K: k, Samples: i + 1,
+						KSDegree:     sumD / float64(i+1),
+						KSPathLength: sumP / float64(i+1),
+					}
+					out = append(out, row)
+					fprintf(w, "%-10s k=%-3d %8d %10.3f %10.3f\n", name, k, row.Samples, row.KSDegree, row.KSPathLength)
+					ci++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CompareRow is one configuration of the sampler-comparison experiment
+// (§4.3's observation that exact and approximate samplers produce
+// near-identical utility, plus the inverse-degree vs uniform ablation).
+type CompareRow struct {
+	Network      string
+	Sampler      string
+	Weights      string
+	KSDegree     float64
+	KSPathLength float64
+}
+
+// SamplerComparison prints and returns KS distances for the exact and
+// approximate samplers under both weight schemes on the Enron network.
+func SamplerComparison(w io.Writer, e *Env, k, samples, pathPairs int) []CompareRow {
+	name := "Enron"
+	g := e.Graph(name)
+	orb := e.Orbits(name)
+	res, err := ksym.Anonymize(g, orb, k)
+	if err != nil {
+		panic("experiments: anonymize: " + err.Error())
+	}
+	rng := rand.New(rand.NewSource(e.Seed + 505))
+	origDeg := stats.DegreeSample(g)
+	origPath := stats.PathLengthSample(g, pathPairs, rng)
+
+	type cfg struct {
+		sampler string
+		weights string
+	}
+	cfgs := []cfg{
+		{"exact", "inverse-degree"},
+		{"exact", "uniform"},
+		{"approximate", "inverse-degree"},
+		{"approximate", "uniform"},
+	}
+	fprintf(w, "Sampler comparison (%s, k=%d, %d samples)\n", name, k, samples)
+	fprintf(w, "%-12s %-16s %10s %10s\n", "Sampler", "Weights", "KS(deg)", "KS(path)")
+	var out []CompareRow
+	for _, c := range cfgs {
+		var probs []float64
+		if c.weights == "uniform" {
+			probs = sampling.UniformProbabilities(res.Partition)
+		}
+		var degS, pathS []stats.Sample
+		for i := 0; i < samples; i++ {
+			o := &sampling.Options{Rng: rng, Probabilities: probs}
+			var s *graph.Graph
+			var err error
+			if c.sampler == "exact" {
+				s, err = sampling.Exact(res.Graph, res.Partition, g.N(), o)
+			} else {
+				s, err = sampling.Approximate(res.Graph, res.Partition, g.N(), o)
+			}
+			if err != nil {
+				panic("experiments: sampler comparison: " + err.Error())
+			}
+			degS = append(degS, stats.DegreeSample(s))
+			pathS = append(pathS, stats.PathLengthSample(s, pathPairs, rng))
+		}
+		row := CompareRow{
+			Network: name, Sampler: c.sampler, Weights: c.weights,
+			KSDegree:     stats.KolmogorovSmirnov(origDeg, stats.Merge(degS)),
+			KSPathLength: stats.KolmogorovSmirnov(origPath, stats.Merge(pathS)),
+		}
+		out = append(out, row)
+		fprintf(w, "%-12s %-16s %10.3f %10.3f\n", row.Sampler, row.Weights, row.KSDegree, row.KSPathLength)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// dotPalette colors cells in DOT output; cell ids beyond the palette
+// wrap around.
+var dotPalette = []string{
+	"lightblue", "lightcoral", "lightgreen", "gold", "plum",
+	"lightsalmon", "paleturquoise", "khaki", "pink", "lightgray",
+}
+
+// WriteDOT renders g in GraphViz DOT format. cellOf, when non-nil,
+// assigns each vertex a fill color per cell (pass a partition's cell
+// indices to visualize orbits, as in the paper's colored figures); it
+// must then have length g.N().
+func (g *Graph) WriteDOT(w io.Writer, name string, cellOf []int) error {
+	if cellOf != nil && len(cellOf) != g.N() {
+		return fmt.Errorf("graph: cellOf has %d entries for %d vertices", len(cellOf), g.N())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n  node [style=filled];\n", name)
+	for v := 0; v < g.N(); v++ {
+		color := "white"
+		if cellOf != nil {
+			color = dotPalette[cellOf[v]%len(dotPalette)]
+		}
+		fmt.Fprintf(bw, "  %d [fillcolor=%q];\n", v, color)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "test", []int{0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "test"`, "0 -- 1;", "1 -- 2;", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTNoColors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cycle(3).WriteDOT(&buf, "c3", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `fillcolor="white"`) {
+		t.Fatal("uncolored vertices should be white")
+	}
+}
+
+func TestWriteDOTBadCellOf(t *testing.T) {
+	var buf bytes.Buffer
+	if err := cycle(3).WriteDOT(&buf, "c3", []int{0}); err == nil {
+		t.Fatal("mismatched cellOf should error")
+	}
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the edge-list parser never panics and that anything
+// it accepts round-trips exactly.
+func FuzzRead(f *testing.F) {
+	f.Add("3 2\n0 1\n1 2\n")
+	f.Add("1 0\n")
+	f.Add("# comment\n\n2 1\n0 1\n")
+	f.Add("3 1\n0 9\n")
+	f.Add("x y\n")
+	f.Add("-1 -1\n")
+	f.Add("999999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatal("round trip not identical")
+		}
+	})
+}

@@ -1,0 +1,426 @@
+// Package graph implements the undirected simple graph model used
+// throughout the k-symmetry anonymization pipeline (EDBT 2010, §2.1).
+//
+// Vertices are dense integers 0..N()-1. Adjacency lists are kept sorted,
+// which makes neighbor iteration deterministic and membership tests
+// logarithmic; both properties are relied on by the refinement and
+// automorphism-search layers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph. The zero value is an empty graph.
+// Self-loops and parallel edges are rejected.
+type Graph struct {
+	adj [][]int // adj[v] is the sorted list of neighbors of v
+	m   int     // number of edges
+}
+
+// New returns a graph with n isolated vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// FromEdges builds a graph with n vertices and the given edges.
+// It panics on out-of-range endpoints and ignores duplicate edges.
+func FromEdges(n int, edges [][2]int) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddVertex appends a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddVertices appends k new isolated vertices and returns the index of
+// the first one.
+func (g *Graph) AddVertices(k int) int {
+	first := len(g.adj)
+	g.adj = append(g.adj, make([][]int, k)...)
+	return first
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+// AddEdge inserts the undirected edge {u,v}. It reports whether the edge
+// was added (false for duplicates). Self-loops panic: the model of §2.1
+// is a simple graph, and a silent self-loop would corrupt orbit copying.
+func (g *Graph) AddEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u,v} if present and reports
+// whether it existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.m--
+	return true
+}
+
+func insertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+func removeSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// Degree returns |N(v)|.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	return g.adj[v]
+}
+
+// Edges returns all edges as {u,v} pairs with u < v, in lexicographic
+// order.
+func (g *Graph) Edges() [][2]int {
+	es := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int, len(g.adj)), m: g.m}
+	for v, a := range g.adj {
+		c.adj[v] = append([]int(nil), a...)
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical vertex and edge sets
+// (vertex identity matters; use iso.go for isomorphism).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for v := range g.adj {
+		a, b := g.adj[v], h.adj[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Permute returns the image of g under the permutation perm, i.e. the
+// graph with edge set {(perm[u], perm[v]) | (u,v) ∈ E(g)}. perm must be a
+// permutation of 0..N()-1.
+func (g *Graph) Permute(perm []int) *Graph {
+	if len(perm) != g.N() {
+		panic("graph: permutation length mismatch")
+	}
+	h := New(g.N())
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				h.AddEdge(perm[u], perm[v])
+			}
+		}
+	}
+	return h
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// together with origOf mapping each new vertex index to its original
+// index. Duplicate vertices in vs panic.
+func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int) {
+	idx := make(map[int]int, len(vs))
+	origOf := make([]int, len(vs))
+	for i, v := range vs {
+		g.check(v)
+		if _, dup := idx[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in induced subgraph", v))
+		}
+		idx[v] = i
+		origOf[i] = v
+	}
+	s := New(len(vs))
+	for i, v := range vs {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[w]; ok && i < j {
+				s.AddEdge(i, j)
+			}
+		}
+	}
+	return s, origOf
+}
+
+// DegreeSequence returns the multiset of vertex degrees in ascending
+// order.
+func (g *Graph) DegreeSequence() []int {
+	ds := make([]int, g.N())
+	for v := range g.adj {
+		ds[v] = len(g.adj[v])
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// ConnectedComponents returns the vertex sets of the connected
+// components, each sorted ascending, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	queue := make([]int, 0, g.N())
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = queue[:0]
+		queue = append(queue, s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+					comp = append(comp, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether g is connected (the empty graph is
+// considered connected).
+func (g *Graph) IsConnected() bool {
+	return g.N() == 0 || len(g.ConnectedComponents()) == 1
+}
+
+// LargestComponentSize returns the vertex count of the largest connected
+// component (0 for the empty graph).
+func (g *Graph) LargestComponentSize() int {
+	max := 0
+	for _, c := range g.ConnectedComponents() {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// BFSDistances returns the vector of shortest-path distances from src;
+// unreachable vertices get -1.
+func (g *Graph) BFSDistances(src int) []int {
+	g.check(src)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPathLength returns the length of a shortest path between u and
+// v, or -1 if v is unreachable from u. It runs a bidirectional-free BFS
+// with early exit.
+func (g *Graph) ShortestPathLength(u, v int) int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return 0
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[x] {
+			if dist[w] < 0 {
+				if w == v {
+					return dist[x] + 1
+				}
+				dist[w] = dist[x] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+// TrianglesAt returns the number of triangles through v, i.e. the number
+// of edges among N(v).
+func (g *Graph) TrianglesAt(v int) int {
+	g.check(v)
+	nbrs := g.adj[v]
+	count := 0
+	for i, u := range nbrs {
+		au := g.adj[u]
+		// Count neighbors of u that are also neighbors of v and come
+		// after u in nbrs, so each triangle edge is counted once.
+		for _, w := range nbrs[i+1:] {
+			j := sort.SearchInts(au, w)
+			if j < len(au) && au[j] == w {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// LocalClustering returns the clustering coefficient of v: the fraction
+// of connected neighbor pairs among all neighbor pairs (§4.3). Vertices
+// of degree < 2 have coefficient 0.
+func (g *Graph) LocalClustering(v int) float64 {
+	d := g.Degree(v)
+	if d < 2 {
+		return 0
+	}
+	return 2 * float64(g.TrianglesAt(v)) / float64(d*(d-1))
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > max {
+			max = len(g.adj[v])
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum vertex degree (0 for the empty graph).
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for v := range g.adj {
+		if len(g.adj[v]) < min {
+			min = len(g.adj[v])
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the mean vertex degree, 2M/N.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// MedianDegree returns the median of the degree sequence (lower median
+// for even N).
+func (g *Graph) MedianDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	ds := g.DegreeSequence()
+	return ds[(len(ds)-1)/2]
+}
+
+// VerticesByDegreeDesc returns all vertices sorted by descending degree,
+// ties broken by ascending index (deterministic hub ordering for the
+// resilience experiment and hub exclusion, §4.3/§5.2).
+func (g *Graph) VerticesByDegreeDesc() []int {
+	vs := make([]int, g.N())
+	for i := range vs {
+		vs[i] = i
+	}
+	sort.Slice(vs, func(a, b int) bool {
+		da, db := len(g.adj[vs[a]]), len(g.adj[vs[b]])
+		if da != db {
+			return da > db
+		}
+		return vs[a] < vs[b]
+	})
+	return vs
+}

@@ -1,0 +1,387 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// path returns the path graph P_n.
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// cycle returns the cycle graph C_n.
+func cycle(n int) *Graph {
+	g := path(n)
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// complete returns the complete graph K_n.
+func complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// star returns K_{1,n}: vertex 0 is the center.
+func star(n int) *Graph {
+	g := New(n + 1)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func randomGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestNewAndCounts(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("got N=%d M=%d, want 5, 0", g.N(), g.M())
+	}
+	if !g.AddEdge(0, 1) {
+		t.Fatal("AddEdge(0,1) = false, want true")
+	}
+	if g.AddEdge(1, 0) {
+		t.Fatal("duplicate AddEdge(1,0) = true, want false")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	v := g.AddVertex()
+	if v != 2 || g.N() != 3 {
+		t.Fatalf("AddVertex = %d (N=%d), want 2 (N=3)", v, g.N())
+	}
+	first := g.AddVertices(3)
+	if first != 3 || g.N() != 6 {
+		t.Fatalf("AddVertices(3) = %d (N=%d), want 3 (N=6)", first, g.N())
+	}
+	g.AddEdge(5, 0)
+	if !g.HasEdge(0, 5) {
+		t.Fatal("edge to appended vertex missing")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge(2,2) did not panic")
+		}
+	}()
+	New(3).AddEdge(2, 2)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge(0,7) did not panic")
+		}
+	}()
+	New(3).AddEdge(0, 7)
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := complete(4)
+	if !g.RemoveEdge(0, 3) {
+		t.Fatal("RemoveEdge existing = false")
+	}
+	if g.HasEdge(0, 3) || g.HasEdge(3, 0) {
+		t.Fatal("edge still present after removal")
+	}
+	if g.M() != 5 {
+		t.Fatalf("M = %d, want 5", g.M())
+	}
+	if g.RemoveEdge(0, 3) {
+		t.Fatal("RemoveEdge missing = true")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	for _, v := range []int{5, 2, 4, 1} {
+		g.AddEdge(3, v)
+	}
+	want := []int{1, 2, 4, 5}
+	if got := g.Neighbors(3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors(3) = %v, want %v", got, want)
+	}
+}
+
+func TestEdgesLexicographic(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 1)
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := cycle(5)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if g.Equal(c) {
+		t.Fatal("Equal true after divergence")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	g := path(4) // 0-1-2-3
+	perm := []int{3, 2, 1, 0}
+	h := g.Permute(perm)
+	for _, e := range [][2]int{{3, 2}, {2, 1}, {1, 0}} {
+		if !h.HasEdge(e[0], e[1]) {
+			t.Fatalf("permuted graph missing edge %v", e)
+		}
+	}
+	if h.M() != g.M() {
+		t.Fatalf("edge count changed: %d != %d", h.M(), g.M())
+	}
+}
+
+func TestPermuteIdentityIsEqual(t *testing.T) {
+	g := randomGraph(30, 0.2, 1)
+	id := make([]int, g.N())
+	for i := range id {
+		id[i] = i
+	}
+	if !g.Permute(id).Equal(g) {
+		t.Fatal("identity permutation changed the graph")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := complete(5)
+	s, orig := g.InducedSubgraph([]int{1, 3, 4})
+	if s.N() != 3 || s.M() != 3 {
+		t.Fatalf("induced K3: N=%d M=%d, want 3, 3", s.N(), s.M())
+	}
+	if !reflect.DeepEqual(orig, []int{1, 3, 4}) {
+		t.Fatalf("origOf = %v", orig)
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate vertex did not panic")
+		}
+	}()
+	complete(4).InducedSubgraph([]int{1, 1})
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	comps := g.ConnectedComponents()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if got := g.LargestComponentSize(); got != 3 {
+		t.Fatalf("LargestComponentSize = %d, want 3", got)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !cycle(6).IsConnected() {
+		t.Fatal("C6 should be connected")
+	}
+	if !New(0).IsConnected() {
+		t.Fatal("empty graph should be connected")
+	}
+	if !New(1).IsConnected() {
+		t.Fatal("K1 should be connected")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(5)
+	d := g.BFSDistances(0)
+	if !reflect.DeepEqual(d, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("distances = %v", d)
+	}
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	d2 := g2.BFSDistances(0)
+	if d2[2] != -1 {
+		t.Fatalf("unreachable vertex distance = %d, want -1", d2[2])
+	}
+}
+
+func TestShortestPathLength(t *testing.T) {
+	g := cycle(8)
+	cases := []struct{ u, v, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 4}, {0, 5, 3}, {2, 6, 4},
+	}
+	for _, c := range cases {
+		if got := g.ShortestPathLength(c.u, c.v); got != c.want {
+			t.Errorf("d(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+	h := New(4)
+	h.AddEdge(0, 1)
+	if got := h.ShortestPathLength(0, 3); got != -1 {
+		t.Fatalf("disconnected pair distance = %d, want -1", got)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	k4 := complete(4)
+	for v := 0; v < 4; v++ {
+		if got := k4.TrianglesAt(v); got != 3 {
+			t.Fatalf("K4 triangles at %d = %d, want 3", v, got)
+		}
+	}
+	c5 := cycle(5)
+	for v := 0; v < 5; v++ {
+		if got := c5.TrianglesAt(v); got != 0 {
+			t.Fatalf("C5 triangles at %d = %d, want 0", v, got)
+		}
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	if got := complete(4).LocalClustering(0); got != 1 {
+		t.Fatalf("K4 clustering = %v, want 1", got)
+	}
+	if got := star(5).LocalClustering(0); got != 0 {
+		t.Fatalf("star center clustering = %v, want 0", got)
+	}
+	if got := star(5).LocalClustering(1); got != 0 {
+		t.Fatalf("degree-1 clustering = %v, want 0", got)
+	}
+	// Triangle with a pendant: vertex 0 has neighbors {1,2,3}; among the
+	// 3 pairs exactly one (1,2) is connected.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	if got, want := g.LocalClustering(0), 1.0/3.0; got != want {
+		t.Fatalf("clustering = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := star(4) // degrees: 4,1,1,1,1
+	if g.MaxDegree() != 4 || g.MinDegree() != 1 {
+		t.Fatalf("max/min = %d/%d, want 4/1", g.MaxDegree(), g.MinDegree())
+	}
+	if got := g.MedianDegree(); got != 1 {
+		t.Fatalf("median = %d, want 1", got)
+	}
+	if got, want := g.AvgDegree(), 8.0/5.0; got != want {
+		t.Fatalf("avg = %v, want %v", got, want)
+	}
+	if got := g.DegreeSequence(); !reflect.DeepEqual(got, []int{1, 1, 1, 1, 4}) {
+		t.Fatalf("degree sequence = %v", got)
+	}
+}
+
+func TestVerticesByDegreeDesc(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	// degrees: 0:1, 1:3, 2:2, 3:2
+	want := []int{1, 2, 3, 0}
+	if got := g.VerticesByDegreeDesc(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeSumEqualsTwiceEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(40, 0.15, seed)
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsPartitionVertexSet(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(30, 0.05, seed)
+		var all []int
+		for _, c := range g.ConnectedComponents() {
+			all = append(all, c...)
+		}
+		sort.Ints(all)
+		if len(all) != g.N() {
+			return false
+		}
+		for i, v := range all {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleSumProperty(t *testing.T) {
+	// Sum over vertices of TrianglesAt counts each triangle 3 times.
+	f := func(seed int64) bool {
+		g := randomGraph(20, 0.3, seed)
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.TrianglesAt(v)
+		}
+		return sum%3 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The edge-list format is one header line "n m" followed by m lines
+// "u v". Lines starting with '#' and blank lines are ignored on read.
+
+// MaxReadVertices caps the vertex count Read accepts, protecting
+// against allocation bombs from corrupt or hostile headers.
+const MaxReadVertices = 1 << 27
+
+// Write serializes g in edge-list format.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in edge-list format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var g *Graph
+	wantEdges := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(text, "%d %d", &a, &b); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
+		}
+		if g == nil {
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header %d %d", line, a, b)
+			}
+			if a > MaxReadVertices {
+				return nil, fmt.Errorf("graph: header declares %d vertices, limit is %d", a, MaxReadVertices)
+			}
+			g = New(a)
+			wantEdges = b
+			continue
+		}
+		if a < 0 || a >= g.N() || b < 0 || b >= g.N() {
+			return nil, fmt.Errorf("graph: line %d: endpoint out of range [0,%d): %d %d", line, g.N(), a, b)
+		}
+		if a == b {
+			return nil, fmt.Errorf("graph: line %d: self-loop at %d", line, a)
+		}
+		g.AddEdge(a, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if g.M() != wantEdges {
+		return nil, fmt.Errorf("graph: header declares %d edges, read %d distinct", wantEdges, g.M())
+	}
+	return g, nil
+}
+
+// WriteFile writes g to path in edge-list format.
+func (g *Graph) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a graph from an edge-list file.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

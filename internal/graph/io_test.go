@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := randomGraph(25, 0.2, 3)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("round-tripped graph differs")
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n3 2\n0 1\n# another\n1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d, want 3, 2", g.N(), g.M())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"malformed", "3 1\n0 x\n"},
+		{"out-of-range", "3 1\n0 9\n"},
+		{"self-loop", "3 1\n1 1\n"},
+		{"edge-count-mismatch", "3 2\n0 1\n"},
+		{"negative-header", "-3 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+}
+
+func TestReadDuplicateEdgeMismatch(t *testing.T) {
+	// Duplicate edges collapse, so the declared count no longer matches.
+	_, err := Read(strings.NewReader("3 2\n0 1\n1 0\n"))
+	if err == nil {
+		t.Fatal("duplicate edge should trigger count mismatch error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := cycle(9)
+	p := filepath.Join(t.TempDir(), "g.edges")
+	if err := g.WriteFile(p); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("file round-trip differs")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.edges")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

@@ -1,0 +1,238 @@
+package graph
+
+import "sort"
+
+// Isomorphism testing (needed by the backbone-detection Algorithm 2 of
+// §4.2.2, and by tests of Lemma 3's order-independence). The search is a
+// VF2-style backtracking over a connectivity-guided vertex order, pruned
+// by an iterated-degree invariant.
+
+// Isomorphic reports whether a and b are isomorphic, and if so returns a
+// mapping f with f[u in a] = v in b.
+func Isomorphic(a, b *Graph) ([]int, bool) {
+	return IsomorphicConstrained(a, b, nil)
+}
+
+// IsomorphicConstrained is Isomorphic restricted to mappings where every
+// pair (u, f[u]) satisfies allowed. A nil allowed permits every pair.
+// This implements the ≅_{ℒ(V)} test of Algorithm 2: components of a cell
+// are orbit copies only when some isomorphism matches vertices with
+// identical neighborhoods outside the cell.
+func IsomorphicConstrained(a, b *Graph, allowed func(u, v int) bool) ([]int, bool) {
+	if a.N() != b.N() || a.M() != b.M() {
+		return nil, false
+	}
+	n := a.N()
+	if n == 0 {
+		return []int{}, true
+	}
+	ca := iterDegreeColors(a)
+	cb := iterDegreeColors(b)
+	if !sameColorHistogram(ca, cb) {
+		return nil, false
+	}
+
+	order := matchOrder(a)
+	f := make([]int, n)   // a -> b, -1 unset
+	inv := make([]int, n) // b -> a, -1 unset
+	for i := range f {
+		f[i] = -1
+		inv[i] = -1
+	}
+
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == n {
+			return true
+		}
+		u := order[k]
+		for v := 0; v < n; v++ {
+			if inv[v] != -1 || ca[u] != cb[v] {
+				continue
+			}
+			if allowed != nil && !allowed(u, v) {
+				continue
+			}
+			if !consistent(a, b, f, inv, u, v) {
+				continue
+			}
+			f[u] = v
+			inv[v] = u
+			if try(k + 1) {
+				return true
+			}
+			f[u] = -1
+			inv[v] = -1
+		}
+		return false
+	}
+	if try(0) {
+		return f, true
+	}
+	return nil, false
+}
+
+// consistent checks that mapping u→v preserves adjacency against all
+// already-mapped vertices, in both directions.
+func consistent(a, b *Graph, f, inv []int, u, v int) bool {
+	mappedNbrs := 0
+	for _, w := range a.Neighbors(u) {
+		if fw := f[w]; fw != -1 {
+			if !b.HasEdge(v, fw) {
+				return false
+			}
+			mappedNbrs++
+		}
+	}
+	// Every mapped neighbor of v must likewise be a mapped neighbor of u;
+	// counting suffices because the forward pass verified each edge.
+	cnt := 0
+	for _, w := range b.Neighbors(v) {
+		if inv[w] != -1 {
+			cnt++
+		}
+	}
+	return cnt == mappedNbrs
+}
+
+// matchOrder returns a vertex order that keeps the frontier connected:
+// BFS from the highest-degree vertex of each component, rarest color
+// first within a level. Connected frontiers make the consistency check
+// prune early.
+func matchOrder(g *Graph) []int {
+	n := g.N()
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	start := g.VerticesByDegreeDesc()
+	for _, s := range start {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			nbrs := append([]int(nil), g.Neighbors(v)...)
+			sort.Slice(nbrs, func(i, j int) bool {
+				di, dj := g.Degree(nbrs[i]), g.Degree(nbrs[j])
+				if di != dj {
+					return di > dj
+				}
+				return nbrs[i] < nbrs[j]
+			})
+			for _, w := range nbrs {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// iterDegreeColors computes a 1-WL style vertex invariant: colors start
+// as degrees and are refined by sorted neighbor-color multisets until
+// stable. Isomorphic graphs get identical color histograms, and any
+// isomorphism must preserve colors.
+func iterDegreeColors(g *Graph) []int {
+	n := g.N()
+	color := make([]int, n)
+	for v := 0; v < n; v++ {
+		color[v] = g.Degree(v)
+	}
+	color = canonColors(color)
+	for round := 0; round < n; round++ {
+		// Build content signatures, then rank them lexicographically so
+		// the resulting ids are canonical by content: two isomorphic
+		// graphs assign identical ids to corresponding classes.
+		sigs := make([]string, n)
+		for v := 0; v < n; v++ {
+			ns := make([]int, 0, g.Degree(v)+1)
+			ns = append(ns, color[v])
+			for _, w := range g.Neighbors(v) {
+				ns = append(ns, color[w])
+			}
+			sort.Ints(ns[1:])
+			sigs[v] = intsKey(ns)
+		}
+		distinct := map[string]int{}
+		for _, s := range sigs {
+			distinct[s] = 0
+		}
+		keys := make([]string, 0, len(distinct))
+		for s := range distinct {
+			keys = append(keys, s)
+		}
+		sort.Strings(keys)
+		for i, s := range keys {
+			distinct[s] = i
+		}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			next[v] = distinct[sigs[v]]
+		}
+		stable := countDistinct(next) == countDistinct(color)
+		color = next
+		if stable {
+			break
+		}
+	}
+	return color
+}
+
+// canonColors renumbers colors so that equal inputs map to equal small
+// ints ranked by value, making the initial (degree) coloring canonical
+// by content.
+func canonColors(c []int) []int {
+	vals := append([]int(nil), c...)
+	sort.Ints(vals)
+	rank := map[int]int{}
+	for _, v := range vals {
+		if _, ok := rank[v]; !ok {
+			rank[v] = len(rank)
+		}
+	}
+	out := make([]int, len(c))
+	for i, v := range c {
+		out[i] = rank[v]
+	}
+	return out
+}
+
+func countDistinct(c []int) int {
+	m := map[int]struct{}{}
+	for _, v := range c {
+		m[v] = struct{}{}
+	}
+	return len(m)
+}
+
+func intsKey(s []int) string {
+	b := make([]byte, 0, 4*len(s))
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func sameColorHistogram(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ha := map[int]int{}
+	for _, c := range a {
+		ha[c]++
+	}
+	for _, c := range b {
+		ha[c]--
+	}
+	for _, n := range ha {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func petersen() *Graph {
+	g := New(10)
+	// Outer 5-cycle 0..4, inner 5-star-polygon 5..9, spokes i—i+5.
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+		g.AddEdge(5+i, 5+(i+2)%5)
+		g.AddEdge(i, 5+i)
+	}
+	return g
+}
+
+func TestIsomorphicIdentical(t *testing.T) {
+	g := petersen()
+	f, ok := Isomorphic(g, g.Clone())
+	if !ok {
+		t.Fatal("graph not isomorphic to itself")
+	}
+	if !g.Permute(f).Equal(g) {
+		t.Fatal("returned mapping is not an isomorphism")
+	}
+}
+
+func TestIsomorphicUnderRandomRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(24, 0.2, int64(trial))
+		perm := rng.Perm(g.N())
+		h := g.Permute(perm)
+		f, ok := Isomorphic(g, h)
+		if !ok {
+			t.Fatalf("trial %d: relabeled graph not recognized as isomorphic", trial)
+		}
+		// Verify: f must map E(g) onto E(h).
+		for _, e := range g.Edges() {
+			if !h.HasEdge(f[e[0]], f[e[1]]) {
+				t.Fatalf("trial %d: mapping does not preserve edge %v", trial, e)
+			}
+		}
+	}
+}
+
+func TestNonIsomorphicDifferentCounts(t *testing.T) {
+	if _, ok := Isomorphic(path(4), path(5)); ok {
+		t.Fatal("P4 ~ P5 reported isomorphic")
+	}
+	if _, ok := Isomorphic(cycle(4), path(4)); ok {
+		t.Fatal("C4 ~ P4 reported isomorphic (edge counts differ)")
+	}
+}
+
+func TestNonIsomorphicSameCounts(t *testing.T) {
+	// C6 vs two triangles: same n and m, different structure.
+	c6 := cycle(6)
+	twoTri := New(6)
+	twoTri.AddEdge(0, 1)
+	twoTri.AddEdge(1, 2)
+	twoTri.AddEdge(2, 0)
+	twoTri.AddEdge(3, 4)
+	twoTri.AddEdge(4, 5)
+	twoTri.AddEdge(5, 3)
+	if _, ok := Isomorphic(c6, twoTri); ok {
+		t.Fatal("C6 ~ 2K3 reported isomorphic")
+	}
+	// Star K_{1,3} vs path P4: same n=4, m=3.
+	if _, ok := Isomorphic(star(3), path(4)); ok {
+		t.Fatal("K_{1,3} ~ P4 reported isomorphic")
+	}
+}
+
+func TestNonIsomorphicRegularSameDegrees(t *testing.T) {
+	// K_{3,3} vs the triangular prism: both 3-regular on 6 vertices.
+	k33 := New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			k33.AddEdge(i, j)
+		}
+	}
+	prism := New(6)
+	prism.AddEdge(0, 1)
+	prism.AddEdge(1, 2)
+	prism.AddEdge(2, 0)
+	prism.AddEdge(3, 4)
+	prism.AddEdge(4, 5)
+	prism.AddEdge(5, 3)
+	for i := 0; i < 3; i++ {
+		prism.AddEdge(i, i+3)
+	}
+	if _, ok := Isomorphic(k33, prism); ok {
+		t.Fatal("K33 ~ prism reported isomorphic")
+	}
+}
+
+func TestIsomorphicEmptyAndTiny(t *testing.T) {
+	if _, ok := Isomorphic(New(0), New(0)); !ok {
+		t.Fatal("empty graphs should be isomorphic")
+	}
+	if _, ok := Isomorphic(New(1), New(1)); !ok {
+		t.Fatal("K1 graphs should be isomorphic")
+	}
+	if _, ok := Isomorphic(New(2), New(2)); !ok {
+		t.Fatal("two isolated vertices should be isomorphic")
+	}
+}
+
+func TestIsomorphicDisconnected(t *testing.T) {
+	a := New(6)
+	a.AddEdge(0, 1)
+	a.AddEdge(2, 3)
+	a.AddEdge(3, 4)
+	b := New(6)
+	b.AddEdge(5, 4)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	if _, ok := Isomorphic(a, b); !ok {
+		t.Fatal("isomorphic disconnected graphs not matched")
+	}
+}
+
+func TestIsomorphicConstrainedBlocks(t *testing.T) {
+	// Two disjoint edges; constraint forbids the only valid mappings.
+	a := New(2)
+	a.AddEdge(0, 1)
+	b := New(2)
+	b.AddEdge(0, 1)
+	_, ok := IsomorphicConstrained(a, b, func(u, v int) bool { return u == v })
+	if !ok {
+		t.Fatal("identity-allowed constraint should succeed")
+	}
+	_, ok = IsomorphicConstrained(a, b, func(u, v int) bool { return u != v })
+	if !ok {
+		t.Fatal("swap-allowed constraint should succeed")
+	}
+	_, ok = IsomorphicConstrained(a, b, func(u, v int) bool { return false })
+	if ok {
+		t.Fatal("empty constraint should fail")
+	}
+}
+
+func TestIsomorphicConstrainedRespectsPredicate(t *testing.T) {
+	g := cycle(6)
+	h := cycle(6)
+	f, ok := IsomorphicConstrained(g, h, func(u, v int) bool { return (u+v)%2 == 0 })
+	if !ok {
+		t.Fatal("parity-preserving automorphism of C6 exists (e.g. identity)")
+	}
+	for u, v := range f {
+		if (u+v)%2 != 0 {
+			t.Fatalf("mapping %d→%d violates constraint", u, v)
+		}
+	}
+}
+
+func TestPetersenSelfIsomorphismNontrivial(t *testing.T) {
+	g := petersen()
+	perm := rand.New(rand.NewSource(11)).Perm(10)
+	h := g.Permute(perm)
+	if _, ok := Isomorphic(g, h); !ok {
+		t.Fatal("Petersen graph not isomorphic to its relabeling")
+	}
+}

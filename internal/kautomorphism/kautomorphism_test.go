@@ -1,0 +1,175 @@
+package kautomorphism
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+)
+
+const maxAut = 100000
+
+func TestCycleIsNAutomorphic(t *testing.T) {
+	// C_n's rotations are pairwise compatible and fixed-point-free.
+	for _, n := range []int{4, 5, 6} {
+		ok, ws, err := IsKAutomorphic(datasets.Cycle(n), n, maxAut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("C%d should be %d-automorphic", n, n)
+		}
+		if !ws.Verify(datasets.Cycle(n), n) {
+			t.Fatalf("C%d witness fails verification", n)
+		}
+	}
+}
+
+func TestCompleteIsNAutomorphic(t *testing.T) {
+	ok, _, err := IsKAutomorphic(datasets.Complete(4), 4, maxAut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("K4 should be 4-automorphic")
+	}
+}
+
+func TestPathMaxK1(t *testing.T) {
+	// Every automorphism of P3 fixes the middle vertex: no
+	// fixed-point-free automorphism exists, so max k = 1.
+	k, err := MaxK(datasets.Path(3), maxAut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("P3 max k = %d, want 1", k)
+	}
+}
+
+func TestStarMaxK1(t *testing.T) {
+	k, err := MaxK(datasets.Star(5), maxAut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("star max k = %d, want 1 (center always fixed)", k)
+	}
+}
+
+func TestKAutomorphicEdgeCases(t *testing.T) {
+	if _, _, err := IsKAutomorphic(datasets.Cycle(4), 0, maxAut); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	ok, ws, err := IsKAutomorphic(datasets.Path(3), 1, maxAut)
+	if err != nil || !ok || len(ws) != 0 {
+		t.Fatal("every graph is 1-automorphic")
+	}
+	ok, _, err = IsKAutomorphic(datasets.Cycle(3), 4, maxAut)
+	if err != nil || ok {
+		t.Fatal("k cannot exceed the vertex count")
+	}
+}
+
+func TestWitnessVerifyRejectsBad(t *testing.T) {
+	g := datasets.Cycle(4)
+	// Wrong size.
+	if (Witness{}).Verify(g, 2) {
+		t.Fatal("empty witness for k=2 accepted")
+	}
+	// Non-automorphism.
+	if (Witness{automorphism.Perm{1, 0, 2, 3}}).Verify(g, 2) {
+		t.Fatal("non-automorphism accepted")
+	}
+	// Automorphism with a fixed point (reflection of C4 fixes 0 and 2).
+	if (Witness{automorphism.Perm{0, 3, 2, 1}}).Verify(g, 2) {
+		t.Fatal("fixed-point automorphism accepted")
+	}
+	// A valid one: the antipodal map.
+	if !(Witness{automorphism.Perm{2, 3, 0, 1}}).Verify(g, 2) {
+		t.Fatal("valid witness rejected")
+	}
+}
+
+func TestKSymmetryOutputIsOftenKAutomorphic(t *testing.T) {
+	// Anonymizing Fig. 3 with k=2 yields a graph where composing all
+	// the per-cell swaps gives a fixed-point-free automorphism.
+	g := datasets.Fig3()
+	orb, _, err := automorphism.OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ksym.Anonymize(g, orb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := IsKAutomorphic(res.Graph, 2, maxAut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("2-symmetric Fig.3 graph should be 2-automorphic")
+	}
+}
+
+func TestKSymmetricNotNecessarilyKAutomorphic(t *testing.T) {
+	// C3 ⊎ C4: orbits are the two cycles (sizes 3 and 4), so the graph
+	// is 3-symmetric. But a fixed-point-free automorphism must rotate
+	// BOTH cycles; two such maps f,g are compatible iff f∘g⁻¹ is also
+	// free on both. On the C3 component only 2 non-trivial rotations
+	// exist, so at most 2 pairwise-compatible witnesses: 3-automorphic,
+	// but NOT 4-automorphic — while the C4 orbit alone would allow 4.
+	g := graph.New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	for i := 3; i < 7; i++ {
+		g.AddEdge(i, 3+(i-3+1)%4)
+	}
+	orb, _, err := automorphism.OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orb.MinCellSize() != 3 {
+		t.Fatalf("expected min orbit 3, got %v", orb)
+	}
+	k, err := MaxK(g, maxAut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Fatalf("C3⊎C4 max automorphism k = %d, want 3", k)
+	}
+}
+
+func TestPropertyKAutomorphicImpliesKSymmetric(t *testing.T) {
+	// MaxK never exceeds the smallest orbit size (the §6 relationship).
+	f := func(seed int64) bool {
+		g := datasets.ErdosRenyiGM(9, 12, seed)
+		k, err := MaxK(g, maxAut)
+		if err != nil {
+			return false
+		}
+		if k <= 1 {
+			return true
+		}
+		orb, _, err := automorphism.OrbitPartition(g, nil)
+		if err != nil {
+			return false
+		}
+		return k <= orb.MinCellSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxKEmptyGraph(t *testing.T) {
+	k, err := MaxK(graph.New(0), maxAut)
+	if err != nil || k != 0 {
+		t.Fatalf("empty graph MaxK = %d, %v", k, err)
+	}
+}

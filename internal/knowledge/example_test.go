@@ -1,0 +1,18 @@
+package knowledge_test
+
+import (
+	"fmt"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/knowledge"
+)
+
+// Bob (vertex 1 of the Figure 1 network) is uniquely re-identified by
+// his neighborhood degree sequence — the paper's knowledge P2.
+func ExampleCandidateSet() {
+	g := datasets.Fig1()
+	cands := knowledge.CandidateSet(g, knowledge.NeighborDegreeSeq{}, 1)
+	fmt.Println(cands)
+	// Output:
+	// [1]
+}

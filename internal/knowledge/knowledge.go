@@ -1,0 +1,173 @@
+// Package knowledge models the adversary of §2: structural background
+// knowledge about a target vertex, the candidate sets it induces in a
+// naively-anonymized network, and the r_f / s_f statistics of §2.2 that
+// quantify how close a measure's re-identification power comes to the
+// orbit upper bound.
+package knowledge
+
+import (
+	"fmt"
+	"sort"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+// Measure is a structural vertex measure f: any function of the
+// network's topology around a vertex. Vertices with equal signatures
+// are indistinguishable under f; the induced partition 𝒱_f is the
+// adversary's best-case knowledge granularity.
+type Measure interface {
+	// Name identifies the measure in experiment output.
+	Name() string
+	// Signature returns a canonical encoding of f(v); equal values of f
+	// must produce equal strings.
+	Signature(g *graph.Graph, v int) string
+}
+
+// Degree is the vertex degree measure deg(v) — the knowledge behind
+// k-degree anonymity.
+type Degree struct{}
+
+// Name implements Measure.
+func (Degree) Name() string { return "degree" }
+
+// Signature implements Measure.
+func (Degree) Signature(g *graph.Graph, v int) string {
+	return fmt.Sprint(g.Degree(v))
+}
+
+// NeighborDegreeSeq is Deg(v) of §2.2: the sorted degree sequence of
+// v's neighborhood.
+type NeighborDegreeSeq struct{}
+
+// Name implements Measure.
+func (NeighborDegreeSeq) Name() string { return "nbr-degree-seq" }
+
+// Signature implements Measure.
+func (NeighborDegreeSeq) Signature(g *graph.Graph, v int) string {
+	ds := make([]int, 0, g.Degree(v))
+	for _, u := range g.Neighbors(v) {
+		ds = append(ds, g.Degree(u))
+	}
+	sort.Ints(ds)
+	return fmt.Sprint(ds)
+}
+
+// Triangles is tri(v) of §2.2: the number of triangles through v.
+type Triangles struct{}
+
+// Name implements Measure.
+func (Triangles) Name() string { return "triangle" }
+
+// Signature implements Measure.
+func (Triangles) Signature(g *graph.Graph, v int) string {
+	return fmt.Sprint(g.TrianglesAt(v))
+}
+
+// Combined is the paper's combined measure f(v) = (Deg(v), tri(v)):
+// two easily-obtained pieces of knowledge whose conjunction approaches
+// the orbit upper bound.
+type Combined struct{ Measures []Measure }
+
+// NewCombined combines any set of measures; with no arguments it
+// returns the paper's (Deg, tri) pair.
+func NewCombined(ms ...Measure) Combined {
+	if len(ms) == 0 {
+		ms = []Measure{NeighborDegreeSeq{}, Triangles{}}
+	}
+	return Combined{Measures: ms}
+}
+
+// Name implements Measure.
+func (c Combined) Name() string { return "combined" }
+
+// Signature implements Measure.
+func (c Combined) Signature(g *graph.Graph, v int) string {
+	s := ""
+	for _, m := range c.Measures {
+		s += m.Signature(g, v) + "|"
+	}
+	return s
+}
+
+// Induced returns the partition 𝒱_f induced by the equivalence u ≈_f v
+// iff f(u) = f(v).
+func Induced(g *graph.Graph, m Measure) *partition.Partition {
+	return partition.BySignature(g.N(), func(v int) string { return m.Signature(g, v) })
+}
+
+// CandidateSet returns C(P, v): all vertices whose signature under m
+// equals v's — the adversary's candidates when attacking v with
+// knowledge f(v).
+func CandidateSet(g *graph.Graph, m Measure, v int) []int {
+	p := Induced(g, m)
+	return append([]int(nil), p.CellOfVertex(v)...)
+}
+
+// UniqueRate is the fraction of vertices uniquely re-identifiable under
+// m: |{v : |C(f(v),v)| = 1}| / N.
+func UniqueRate(g *graph.Graph, m Measure) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	p := Induced(g, m)
+	return float64(p.SingletonCount()) / float64(g.N())
+}
+
+// RF computes r_f of §2.2: the number of singleton cells of 𝒱_f divided
+// by the number of singleton orbits — the measure's power to *uniquely*
+// re-identify, relative to the structural upper bound. If the orbit
+// partition has no singleton cells the statistic is undefined and RF
+// returns 0 along with ok=false.
+func RF(vf, orb *partition.Partition) (rf float64, ok bool) {
+	if orb.SingletonCount() == 0 {
+		return 0, false
+	}
+	return float64(vf.SingletonCount()) / float64(orb.SingletonCount()), true
+}
+
+// SF computes s_f of §2.2: Σ_{Δ∈Orb} |Δ|(|Δ|-1) over Σ_{V∈𝒱_f}
+// |V|(|V|-1) — the similarity between 𝒱_f and Orb(G), i.e. the
+// probability mass of indistinguishable ordered pairs that f fails to
+// separate. s_f = 1 means f is as powerful as any structural knowledge
+// can be. Returns ok=false when 𝒱_f is discrete (denominator zero).
+func SF(vf, orb *partition.Partition) (sf float64, ok bool) {
+	den := pairMass(vf)
+	if den == 0 {
+		// 𝒱_f discrete: f distinguishes everything. If Orb is also
+		// discrete the measure exactly meets the (trivial) bound.
+		if pairMass(orb) == 0 {
+			return 1, true
+		}
+		return 0, false
+	}
+	return float64(pairMass(orb)) / float64(den), true
+}
+
+func pairMass(p *partition.Partition) int64 {
+	var s int64
+	for _, c := range p.Cells() {
+		n := int64(len(c))
+		s += n * (n - 1)
+	}
+	return s
+}
+
+// Evaluate bundles r_f and s_f for one measure against the orbit
+// partition.
+type Evaluation struct {
+	Measure    string
+	RF, SF     float64
+	RFOk, SFOk bool
+	Cells      int
+}
+
+// EvaluateMeasure computes the Figure 2 statistics for one measure.
+func EvaluateMeasure(g *graph.Graph, m Measure, orb *partition.Partition) Evaluation {
+	vf := Induced(g, m)
+	ev := Evaluation{Measure: m.Name(), Cells: vf.NumCells()}
+	ev.RF, ev.RFOk = RF(vf, orb)
+	ev.SF, ev.SFOk = SF(vf, orb)
+	return ev
+}

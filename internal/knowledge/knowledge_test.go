@@ -1,0 +1,208 @@
+package knowledge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/partition"
+)
+
+func orb(t *testing.T, g *graph.Graph) *partition.Partition {
+	t.Helper()
+	p, _, err := automorphism.OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func randomGraph(n int, prob float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < prob {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestCandidateSetsFig1(t *testing.T) {
+	g := datasets.Fig1()
+	// Bob (vertex 1) has neighbor degree sequence [1,1,3,3] — unique:
+	// the "2 neighbors with degree 1" knowledge P2 of Example 1.
+	if got := CandidateSet(g, NeighborDegreeSeq{}, 1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Bob's candidates under Deg(v) = %v, want {1}", got)
+	}
+	// Dave (vertex 3) shares exact degree 3 only with Ed (vertex 4).
+	if got := CandidateSet(g, Degree{}, 3); !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Fatalf("Dave's candidates under degree = %v, want {3,4}", got)
+	}
+	// Alice (vertex 0) is degree-1 like Carol (vertex 2).
+	if got := CandidateSet(g, Degree{}, 0); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Alice's candidates = %v, want {0,2}", got)
+	}
+}
+
+func TestOrbitIsLowerBoundOnCandidates(t *testing.T) {
+	// §2.1's key observation: Orb(v) ⊆ C(P,v) for every structural P.
+	g := datasets.Fig1()
+	p := orb(t, g)
+	for _, m := range []Measure{Degree{}, NeighborDegreeSeq{}, Triangles{}, NewCombined()} {
+		for v := 0; v < g.N(); v++ {
+			cand := map[int]bool{}
+			for _, u := range CandidateSet(g, m, v) {
+				cand[u] = true
+			}
+			for _, u := range p.CellOfVertex(v) {
+				if !cand[u] {
+					t.Fatalf("measure %s: orbit member %d missing from candidates of %d", m.Name(), u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestInducedCoarserThanOrbits(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(12, 0.3, seed)
+		p, _, err := automorphism.OrbitPartition(g, nil)
+		if err != nil {
+			return false
+		}
+		for _, m := range []Measure{Degree{}, NeighborDegreeSeq{}, Triangles{}, NewCombined()} {
+			if !p.IsFinerThan(Induced(g, m)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRFAndSFBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(14, 0.25, seed)
+		p, _, err := automorphism.OrbitPartition(g, nil)
+		if err != nil {
+			return false
+		}
+		for _, m := range []Measure{Degree{}, NeighborDegreeSeq{}, Triangles{}, NewCombined()} {
+			vf := Induced(g, m)
+			if rf, ok := RF(vf, p); ok && (rf < 0 || rf > 1) {
+				return false
+			}
+			if sf, ok := SF(vf, p); ok && (sf < 0 || sf > 1+1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinedAtLeastAsStrong(t *testing.T) {
+	// The combined measure refines each constituent, so it has at least
+	// as many cells and at least as many singletons.
+	f := func(seed int64) bool {
+		g := randomGraph(16, 0.2, seed)
+		comb := Induced(g, NewCombined())
+		for _, m := range []Measure{NeighborDegreeSeq{}, Triangles{}} {
+			single := Induced(g, m)
+			if !comb.IsFinerThan(single) {
+				return false
+			}
+			if comb.SingletonCount() < single.SingletonCount() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSFExactWhenMeasureMatchesOrbits(t *testing.T) {
+	// On the Fig. 1 graph the combined measure induces exactly the
+	// orbit partition, so s_f = 1 and r_f = 1 — the Figure 2 story.
+	g := datasets.Fig1()
+	p := orb(t, g)
+	ev := EvaluateMeasure(g, NewCombined(), p)
+	if !ev.SFOk || ev.SF != 1 {
+		t.Fatalf("combined s_f = %v (ok=%v), want 1", ev.SF, ev.SFOk)
+	}
+	if !ev.RFOk || ev.RF != 1 {
+		t.Fatalf("combined r_f = %v (ok=%v), want 1", ev.RF, ev.RFOk)
+	}
+}
+
+func TestKSymmetricGraphResistsAllMeasures(t *testing.T) {
+	// After 2-symmetric anonymization no vertex is uniquely
+	// identifiable under ANY of the measures.
+	g := datasets.Fig1()
+	p := orb(t, g)
+	res, err := ksym.Anonymize(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Measure{Degree{}, NeighborDegreeSeq{}, Triangles{}, NewCombined()} {
+		if rate := UniqueRate(res.Graph, m); rate != 0 {
+			t.Fatalf("measure %s uniquely identifies %.0f%% after 2-symmetry", m.Name(), 100*rate)
+		}
+	}
+}
+
+func TestUniqueRateEmptyGraph(t *testing.T) {
+	if UniqueRate(graph.New(0), Degree{}) != 0 {
+		t.Fatal("empty graph unique rate should be 0")
+	}
+}
+
+func TestRFUndefinedWithoutSingletonOrbits(t *testing.T) {
+	// C5: single orbit, no singletons → r_f undefined.
+	g := datasets.Cycle(5)
+	p := orb(t, g)
+	if _, ok := RF(Induced(g, Degree{}), p); ok {
+		t.Fatal("r_f should be undefined when Orb has no singletons")
+	}
+	// s_f on C5: degree partition = unit = Orb → s_f = 1.
+	sf, ok := SF(Induced(g, Degree{}), p)
+	if !ok || sf != 1 {
+		t.Fatalf("s_f on C5 = %v (ok=%v), want 1", sf, ok)
+	}
+}
+
+func TestSFDiscreteMeasureOnSymmetricGraph(t *testing.T) {
+	// A measure that distinguishes everything on a graph with
+	// non-trivial orbits: s_f = 0, not ok.
+	g := datasets.Cycle(4)
+	disc := partition.Discrete(4)
+	p := orb(t, g)
+	sf, ok := SF(disc, p)
+	if ok || sf != 0 {
+		t.Fatalf("discrete 𝒱_f vs symmetric Orb: sf=%v ok=%v", sf, ok)
+	}
+}
+
+func TestMeasureNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range []Measure{Degree{}, NeighborDegreeSeq{}, Triangles{}, NewCombined()} {
+		if m.Name() == "" || names[m.Name()] {
+			t.Fatalf("duplicate or empty measure name %q", m.Name())
+		}
+		names[m.Name()] = true
+	}
+}

@@ -1,0 +1,236 @@
+package knowledge
+
+import (
+	"fmt"
+	"sort"
+
+	"ksymmetry/internal/graph"
+)
+
+// This file adds the structural-knowledge classes behind the related
+// models of §6: the 1-neighborhood graph (Zhou & Pei's k-neighborhood
+// anonymity) and hub fingerprints (Hay et al.). Because k-symmetry
+// bounds EVERY structural measure (§2.1), AnonymityLevel under each of
+// these is ≥ k on a k-symmetric graph — property-tested in
+// measures_test.go.
+
+// NeighborhoodGraph is the knowledge behind k-neighborhood anonymity:
+// the isomorphism class of the subgraph induced by N(v) ∪ {v}, with v
+// distinguished. Two vertices share a signature iff their closed
+// 1-neighborhoods are isomorphic as rooted graphs.
+type NeighborhoodGraph struct{}
+
+// Name implements Measure.
+func (NeighborhoodGraph) Name() string { return "neighborhood" }
+
+// Signature implements Measure. The canonical form is exact for
+// neighborhoods of up to canonExact vertices (exhaustive minimization)
+// and falls back to a strong iterated-refinement invariant above that;
+// the fallback can only make the measure coarser, never finer than the
+// true isomorphism classes, so the Orb(v) ⊆ C(P,v) guarantee is
+// preserved.
+func (NeighborhoodGraph) Signature(g *graph.Graph, v int) string {
+	vs := append([]int{v}, g.Neighbors(v)...)
+	sub, orig := g.InducedSubgraph(vs)
+	// Root index is 0 by construction (v placed first).
+	_ = orig
+	return rootedCanonical(sub, 0)
+}
+
+// canonExact bounds exhaustive canonicalization; typical social-network
+// neighborhoods are far smaller.
+const canonExact = 9
+
+// rootedCanonical returns a string that is identical for isomorphic
+// rooted graphs (root fixed), and distinct for non-isomorphic ones when
+// n ≤ canonExact.
+func rootedCanonical(g *graph.Graph, root int) string {
+	n := g.N()
+	if n > canonExact {
+		return refinementInvariant(g, root)
+	}
+	// Exhaustive: minimize the adjacency bitstring over all
+	// permutations fixing the root.
+	rest := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != root {
+			rest = append(rest, v)
+		}
+	}
+	best := ""
+	perm := make([]int, n)
+	perm[root] = 0
+	var rec func(k int, used uint16)
+	rec = func(k int, used uint16) {
+		if k == len(rest) {
+			s := adjacencyKey(g, perm)
+			if best == "" || s < best {
+				best = s
+			}
+			return
+		}
+		for i, v := range rest {
+			if used&(1<<uint(i)) != 0 {
+				continue
+			}
+			perm[v] = k + 1
+			rec(k+1, used|1<<uint(i))
+		}
+	}
+	rec(0, 0)
+	return fmt.Sprintf("%d|%s", n, best)
+}
+
+// adjacencyKey serializes the upper triangle of the permuted adjacency
+// matrix.
+func adjacencyKey(g *graph.Graph, perm []int) string {
+	n := g.N()
+	bits := make([]byte, 0, n*n/2)
+	adj := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make([]bool, n)
+	}
+	for u := 0; u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			adj[perm[u]][perm[w]] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if adj[i][j] {
+				bits = append(bits, '1')
+			} else {
+				bits = append(bits, '0')
+			}
+		}
+	}
+	return string(bits)
+}
+
+// refinementInvariant is the large-neighborhood fallback: iterated
+// degree refinement with the root individualized, serialized as a
+// color histogram per round.
+func refinementInvariant(g *graph.Graph, root int) string {
+	n := g.N()
+	color := make([]int, n)
+	color[root] = 1
+	out := fmt.Sprintf("big:%d:%d;", n, g.M())
+	for round := 0; round < 3; round++ {
+		sigs := make([]string, n)
+		for v := 0; v < n; v++ {
+			ns := make([]int, 0, g.Degree(v)+1)
+			ns = append(ns, color[v])
+			for _, w := range g.Neighbors(v) {
+				ns = append(ns, color[w])
+			}
+			sort.Ints(ns[1:])
+			sigs[v] = fmt.Sprint(ns)
+		}
+		keys := append([]string(nil), sigs...)
+		sort.Strings(keys)
+		rank := map[string]int{}
+		for _, s := range keys {
+			if _, ok := rank[s]; !ok {
+				rank[s] = len(rank)
+			}
+		}
+		hist := make([]int, len(rank))
+		for v := 0; v < n; v++ {
+			color[v] = rank[sigs[v]]
+			hist[color[v]]++
+		}
+		out += fmt.Sprint(hist) + ";"
+	}
+	return out
+}
+
+// HubFingerprint is the Hay et al. knowledge class: the multiset of
+// shortest-path distances from v to the `Hubs` highest-degree vertices,
+// truncated at `Radius` (0 means unbounded). Hubs are publicly
+// recognizable, so an adversary can measure a target's distances to
+// them.
+type HubFingerprint struct {
+	Hubs   int // number of hubs (default 5)
+	Radius int // distance cap; 0 = unlimited
+}
+
+// Name implements Measure.
+func (h HubFingerprint) Name() string { return "hub-fingerprint" }
+
+// hubs returns every vertex whose degree is at least that of the
+// h.Hubs-th highest-degree vertex. Including the whole degree class
+// (rather than tie-breaking by index) keeps the measure structural:
+// the hub set is invariant under automorphisms, so Orb(v) ⊆ C(P,v)
+// still holds.
+func (h HubFingerprint) hubs(g *graph.Graph) []int {
+	k := h.Hubs
+	if k <= 0 {
+		k = 5
+	}
+	if k > g.N() {
+		k = g.N()
+	}
+	order := g.VerticesByDegreeDesc()
+	if k == 0 {
+		return nil
+	}
+	cutoff := g.Degree(order[k-1])
+	for k < len(order) && g.Degree(order[k]) == cutoff {
+		k++
+	}
+	return order[:k]
+}
+
+// Signature implements Measure. Distances are computed per call; use
+// Induced (which calls Signature for every vertex) sparingly on large
+// graphs or pre-share a measure cache via FingerprintAll.
+func (h HubFingerprint) Signature(g *graph.Graph, v int) string {
+	ds := make([]int, 0, h.Hubs)
+	for _, hub := range h.hubs(g) {
+		d := g.ShortestPathLength(v, hub)
+		if h.Radius > 0 && (d < 0 || d > h.Radius) {
+			d = -1
+		}
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	return fmt.Sprint(ds)
+}
+
+// FingerprintAll computes every vertex's hub fingerprint with one BFS
+// per hub (O(Hubs·(n+m)) total), returning signatures indexed by
+// vertex.
+func (h HubFingerprint) FingerprintAll(g *graph.Graph) []string {
+	hubs := h.hubs(g)
+	dists := make([][]int, len(hubs))
+	for i, hub := range hubs {
+		dists[i] = g.BFSDistances(hub)
+	}
+	out := make([]string, g.N())
+	for v := 0; v < g.N(); v++ {
+		ds := make([]int, len(hubs))
+		for i := range hubs {
+			d := dists[i][v]
+			if h.Radius > 0 && (d < 0 || d > h.Radius) {
+				d = -1
+			}
+			ds[i] = d
+		}
+		sort.Ints(ds)
+		out[v] = fmt.Sprint(ds)
+	}
+	return out
+}
+
+// AnonymityLevel returns the k for which g is k-anonymous with respect
+// to measure m: the size of the smallest cell of 𝒱_f. k-degree
+// anonymity is AnonymityLevel(g, Degree{}) ≥ k; k-neighborhood
+// anonymity is AnonymityLevel(g, NeighborhoodGraph{}) ≥ k. Because
+// Orb(G) refines every 𝒱_f, a k-symmetric graph has AnonymityLevel ≥ k
+// under EVERY structural measure — Definition 1's generalization claim.
+func AnonymityLevel(g *graph.Graph, m Measure) int {
+	if g.N() == 0 {
+		return 0
+	}
+	return Induced(g, m).MinCellSize()
+}

@@ -1,0 +1,262 @@
+package ksym
+
+import (
+	"fmt"
+	"sort"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+// BackboneResult is the outcome of backbone detection (Algorithm 2).
+type BackboneResult struct {
+	// Graph is the backbone B_{G,𝒱}: the least reduction of (G,𝒱)
+	// under the inverse of orbit copying (Definition 4 / Theorem 3).
+	Graph *graph.Graph
+	// Partition is the backbone's sub-automorphism partition ℬ.
+	Partition *partition.Partition
+	// OrigOf maps each backbone vertex to its vertex in the input
+	// graph.
+	OrigOf []int
+}
+
+// Backbone implements Algorithm 2: within every cell V of 𝒱, connected
+// components of the induced subgraph G[V] that are orbit copies of a
+// kept component — isomorphic via a mapping that preserves each
+// vertex's neighborhood outside V (the relation ≅_{ℒ(V)}) — are
+// removed. Passes repeat until no removal occurs, which reaches the
+// least element of the reduction lattice.
+func Backbone(g *graph.Graph, p *partition.Partition) *BackboneResult {
+	if p.N() != g.N() {
+		panic("ksym: partition does not match graph")
+	}
+	cur := g.Clone()
+	cellOf := make([]int, g.N())
+	origOf := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		cellOf[v] = p.CellIndexOf(v)
+		origOf[v] = v
+	}
+	for {
+		removed := backbonePass(cur, cellOf)
+		if len(removed) == 0 {
+			break
+		}
+		keep := make([]int, 0, cur.N()-len(removed))
+		for v := 0; v < cur.N(); v++ {
+			if !removed[v] {
+				keep = append(keep, v)
+			}
+		}
+		next, idxOrig := cur.InducedSubgraph(keep)
+		nextCellOf := make([]int, len(keep))
+		nextOrigOf := make([]int, len(keep))
+		for i, old := range idxOrig {
+			nextCellOf[i] = cellOf[old]
+			nextOrigOf[i] = origOf[old]
+		}
+		cur, cellOf, origOf = next, nextCellOf, nextOrigOf
+	}
+	return &BackboneResult{
+		Graph:     cur,
+		Partition: partition.FromCellOf(cellOf),
+		OrigOf:    origOf,
+	}
+}
+
+// maxClassMultiplicity groups the components of g[cell] into ℒ(cell)
+// equivalence classes and returns the size of the largest class (1 for
+// a single-component cell).
+func maxClassMultiplicity(g *graph.Graph, p *partition.Partition, cell []int) int {
+	sub, subOrig := g.InducedSubgraph(cell)
+	comps := sub.ConnectedComponents()
+	if len(comps) <= 1 {
+		return 1
+	}
+	inCell := make(map[int]bool, len(cell))
+	for _, v := range cell {
+		inCell[v] = true
+	}
+	extSig := map[int]string{}
+	for _, v := range cell {
+		var ext []int
+		for _, u := range g.Neighbors(v) {
+			if !inCell[u] {
+				ext = append(ext, u)
+			}
+		}
+		extSig[v] = fmt.Sprint(ext)
+	}
+	type comp struct {
+		sub  *graph.Graph
+		orig []int
+	}
+	build := func(c []int) comp {
+		cg, cOrig := sub.InducedSubgraph(c)
+		orig := make([]int, len(cOrig))
+		for i, sv := range cOrig {
+			orig[i] = subOrig[sv]
+		}
+		return comp{sub: cg, orig: orig}
+	}
+	var reps []comp
+	counts := []int{}
+	for _, c := range comps {
+		cand := build(c)
+		matched := false
+		for ri, r := range reps {
+			if r.sub.N() != cand.sub.N() || r.sub.M() != cand.sub.M() {
+				continue
+			}
+			_, ok := graph.IsomorphicConstrained(cand.sub, r.sub, func(u, v int) bool {
+				return extSig[cand.orig[u]] == extSig[r.orig[v]]
+			})
+			if ok {
+				counts[ri]++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			reps = append(reps, cand)
+			counts = append(counts, 1)
+		}
+	}
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// backbonePass performs one sweep over all cells, marking components
+// that are ℒ(V)-copies of a kept component in the same cell. It returns
+// the set of vertices to remove (empty when at a fixpoint).
+func backbonePass(g *graph.Graph, cellOf []int) map[int]bool {
+	cells := partition.FromCellOf(cellOf)
+	removed := map[int]bool{}
+	for ci := 0; ci < cells.NumCells(); ci++ {
+		cell := cells.Cell(ci)
+		if len(cell) == 1 {
+			continue
+		}
+		sub, subOrig := g.InducedSubgraph(cell)
+		comps := sub.ConnectedComponents()
+		if len(comps) == 1 {
+			continue
+		}
+		// External signature of each cell vertex: its neighbors outside
+		// the cell. ℒ(V)-matched vertices must have identical ones.
+		inCell := make(map[int]bool, len(cell))
+		for _, v := range cell {
+			inCell[v] = true
+		}
+		extSig := map[int]string{}
+		for _, v := range cell {
+			var ext []int
+			for _, u := range g.Neighbors(v) {
+				if !inCell[u] {
+					ext = append(ext, u)
+				}
+			}
+			extSig[v] = fmt.Sprint(ext)
+		}
+		type comp struct {
+			sub    *graph.Graph
+			orig   []int // component index -> vertex of g
+			sigBag string
+		}
+		build := func(c []int) comp {
+			cg, cOrig := sub.InducedSubgraph(c)
+			orig := make([]int, len(cOrig))
+			sigs := make([]string, len(cOrig))
+			for i, sv := range cOrig {
+				orig[i] = subOrig[sv]
+				sigs[i] = extSig[orig[i]]
+			}
+			sort.Strings(sigs)
+			return comp{sub: cg, orig: orig, sigBag: fmt.Sprint(sigs)}
+		}
+		var kept []comp
+		for _, c := range comps {
+			cand := build(c)
+			isCopy := false
+			for _, k := range kept {
+				if k.sub.N() != cand.sub.N() || k.sub.M() != cand.sub.M() || k.sigBag != cand.sigBag {
+					continue
+				}
+				_, ok := graph.IsomorphicConstrained(cand.sub, k.sub, func(u, v int) bool {
+					return extSig[cand.orig[u]] == extSig[k.orig[v]]
+				})
+				if ok {
+					isCopy = true
+					break
+				}
+			}
+			if isCopy {
+				for _, v := range cand.orig {
+					removed[v] = true
+				}
+			} else {
+				kept = append(kept, cand)
+			}
+		}
+	}
+	return removed
+}
+
+// MinimalAnonymize implements the §5.1 optimization: anonymize the
+// backbone of (G, orb) instead of G itself, so that the number of
+// newly-introduced vertices is minimized. Every cell is copied until it
+// is both at least as large as the corresponding cell of G (so the
+// original network embeds in the output) and at least as large as its
+// target.
+func MinimalAnonymize(g *graph.Graph, orb *partition.Partition, k int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ksym: k must be ≥ 1, got %d", k)
+	}
+	return MinimalAnonymizeF(g, orb, ConstantTarget(k))
+}
+
+// MinimalAnonymizeF is MinimalAnonymize with an arbitrary f-symmetry
+// target.
+func MinimalAnonymizeF(g *graph.Graph, orb *partition.Partition, target Target) (*Result, error) {
+	if orb.N() != g.N() {
+		return nil, fmt.Errorf("ksym: partition covers %d vertices, graph has %d", orb.N(), g.N())
+	}
+	bb := Backbone(g, orb)
+	h := bb.Graph.Clone()
+	cellOf := make([]int, h.N())
+	for v := 0; v < h.N(); v++ {
+		cellOf[v] = bb.Partition.CellIndexOf(v)
+	}
+	res := &Result{OriginalN: g.N(), OriginalM: g.M()}
+	for i := 0; i < bb.Partition.NumCells(); i++ {
+		bcell := bb.Partition.Cell(i)
+		// The matching cell of G: orb's cell containing the backbone
+		// cell's first original vertex.
+		gcell := orb.CellOfVertex(bb.OrigOf[bcell[0]])
+		want := target(gcell)
+		if want < 1 {
+			return nil, fmt.Errorf("ksym: target for cell %d is %d, must be ≥ 1", i, want)
+		}
+		// Each copy operation duplicates the whole backbone cell, so
+		// after N operations every ℒ-class has N+1 components. To embed
+		// G, N+1 must reach the largest class multiplicity in G's cell
+		// (usually just ⌈|gcell|/|bcell|⌉; they differ only when a cell
+		// mixes classes with unequal counts).
+		copies := (want + len(bcell) - 1) / len(bcell) // ceil(want/|bcell|)
+		if mc := maxClassMultiplicity(g, orb, gcell); mc > copies {
+			copies = mc
+		}
+		for c := 1; c < copies; c++ {
+			copyCell(h, &cellOf, i, bcell)
+			res.CopyOps++
+		}
+	}
+	res.Graph = h
+	res.Partition = partition.FromCellOf(cellOf)
+	return res, nil
+}

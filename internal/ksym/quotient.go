@@ -1,0 +1,113 @@
+package ksym
+
+import (
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+// QuotientResult is the network quotient of Xiao et al. (Physical
+// Review E 78, 2008) — the paper's reference [15], which §4.1 contrasts
+// with the graph backbone: the quotient collapses EVERY cell to a
+// single vertex, so two isomorphic modules spanning several orbits
+// (Figure 6's S1 and S2) merge into one, whereas the backbone keeps
+// them apart.
+type QuotientResult struct {
+	// Graph has one vertex per cell; vertices are adjacent when any
+	// edge joins the two cells in the original graph.
+	Graph *graph.Graph
+	// Internal marks quotient vertices whose cell has internal edges
+	// (the quotient's "self-loops", which the simple-graph model cannot
+	// represent directly).
+	Internal []bool
+	// CellOf maps each original vertex to its quotient vertex.
+	CellOf []int
+}
+
+// Quotient collapses each cell of p to a single vertex.
+func Quotient(g *graph.Graph, p *partition.Partition) *QuotientResult {
+	if p.N() != g.N() {
+		panic("ksym: partition does not match graph")
+	}
+	q := graph.New(p.NumCells())
+	internal := make([]bool, p.NumCells())
+	cellOf := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		cellOf[v] = p.CellIndexOf(v)
+	}
+	for _, e := range g.Edges() {
+		a, b := cellOf[e[0]], cellOf[e[1]]
+		if a == b {
+			internal[a] = true
+			continue
+		}
+		q.AddEdge(a, b)
+	}
+	return &QuotientResult{Graph: q, Internal: internal, CellOf: cellOf}
+}
+
+// LinkDisclosure quantifies the §5.2 link-safety claim: an adversary
+// who can place two individuals into cells A and B (the best any
+// structural knowledge allows on a k-symmetric graph) infers an edge
+// between them with probability e(A,B)/(|A|·|B|) for A ≠ B, or
+// 2·e(A)/(|A|·(|A|-1)) within a cell. MaxInterCell and MaxIntraCell are
+// the worst cases over all cell pairs; a value of 1 means some pair of
+// cells is completely wired and the link leaks despite identity
+// anonymity.
+type LinkDisclosure struct {
+	MaxInterCell float64
+	MaxIntraCell float64
+	// MeanEdgeDisclosure averages the disclosure probability over the
+	// published graph's edges: how confident the adversary is about a
+	// typical true link.
+	MeanEdgeDisclosure float64
+}
+
+// AnalyzeLinkDisclosure computes link-disclosure statistics for a
+// published pair (g, p).
+func AnalyzeLinkDisclosure(g *graph.Graph, p *partition.Partition) LinkDisclosure {
+	if p.N() != g.N() {
+		panic("ksym: partition does not match graph")
+	}
+	type pair struct{ a, b int }
+	counts := map[pair]int{}
+	intra := make([]int, p.NumCells())
+	for _, e := range g.Edges() {
+		a, b := p.CellIndexOf(e[0]), p.CellIndexOf(e[1])
+		if a == b {
+			intra[a]++
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		counts[pair{a, b}]++
+	}
+	var ld LinkDisclosure
+	var sum float64
+	for pr, c := range counts {
+		na, nb := len(p.Cell(pr.a)), len(p.Cell(pr.b))
+		prob := float64(c) / float64(na*nb)
+		if prob > ld.MaxInterCell {
+			ld.MaxInterCell = prob
+		}
+		sum += prob * float64(c)
+	}
+	for ci, c := range intra {
+		if c == 0 {
+			continue
+		}
+		n := len(p.Cell(ci))
+		if n < 2 {
+			continue
+		}
+		prob := 2 * float64(c) / float64(n*(n-1))
+		if prob > ld.MaxIntraCell {
+			ld.MaxIntraCell = prob
+		}
+		sum += prob * float64(c)
+	}
+	if g.M() > 0 {
+		ld.MeanEdgeDisclosure = sum / float64(g.M())
+	}
+	return ld
+}

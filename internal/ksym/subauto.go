@@ -1,0 +1,43 @@
+package ksym
+
+import (
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+// IsSubAutomorphismPartition decides Definition 2 exactly: 𝒱 is a
+// sub-automorphism partition of G iff for every cell O and every pair
+// u,v ∈ O there exists g ∈ Aut(G) with u^g = v and 𝒱^g = 𝒱. The
+// decision enumerates Aut(G) (bounded by maxAut elements), so it is
+// meant for small and medium graphs — it is the executable ground truth
+// behind Lemma 1 and Theorem 1, not a production fast path.
+func IsSubAutomorphismPartition(g *graph.Graph, p *partition.Partition, maxAut int) (bool, error) {
+	if p.N() != g.N() {
+		return false, nil
+	}
+	auts, err := automorphism.EnumerateAll(g, maxAut)
+	if err != nil {
+		return false, err
+	}
+	// Keep only the automorphisms stabilizing 𝒱 as a set of cells.
+	var stab []automorphism.Perm
+	for _, a := range auts {
+		if p.IsStabilizedBy(a) {
+			stab = append(stab, a)
+		}
+	}
+	// Within each cell, every pair must be joined by some stabilizing
+	// automorphism; equivalently each cell must be contained in one
+	// orbit of the stabilizing subgroup.
+	orbits := automorphism.OrbitsFromGenerators(g.N(), stab)
+	for _, cell := range p.Cells() {
+		target := orbits.CellIndexOf(cell[0])
+		for _, v := range cell[1:] {
+			if orbits.CellIndexOf(v) != target {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

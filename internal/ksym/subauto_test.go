@@ -1,0 +1,121 @@
+package ksym
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/partition"
+)
+
+const subAutoLimit = 200000
+
+func TestExample2SubAutomorphismPartition(t *testing.T) {
+	// The paper's Example 2, on C4 with vertices 0..3 and edges
+	// (0,1)(1,2)(2,3)(0,3): {{0,1},{2,3}} is a sub-automorphism
+	// partition but {{0,1,2},{3}} is not.
+	g := datasets.Cycle(4)
+	yes := partition.MustFromCells(4, [][]int{{0, 1}, {2, 3}})
+	ok, err := IsSubAutomorphismPartition(g, yes, subAutoLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("{{0,1},{2,3}} should be a sub-automorphism partition of C4")
+	}
+	no := partition.MustFromCells(4, [][]int{{0, 1, 2}, {3}})
+	ok, err = IsSubAutomorphismPartition(g, no, subAutoLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("{{0,1,2},{3}} should NOT be a sub-automorphism partition of C4")
+	}
+}
+
+func TestOrbAndDiscreteAreSubAutomorphism(t *testing.T) {
+	for _, name := range []string{"fig1", "fig3"} {
+		g := datasets.Fig1()
+		if name == "fig3" {
+			g = datasets.Fig3()
+		}
+		p := orb(t, g)
+		ok, err := IsSubAutomorphismPartition(g, p, subAutoLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s: Orb(G) must be a sub-automorphism partition", name)
+		}
+		ok, err = IsSubAutomorphismPartition(g, partition.Discrete(g.N()), subAutoLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s: the discrete partition is trivially sub-automorphism", name)
+		}
+	}
+}
+
+func TestLemma1OrbitCopyPreservesSubAutomorphism(t *testing.T) {
+	// Lemma 1: after Ocp(G, 𝒱, V), merging V with its copy yields a
+	// sub-automorphism partition of the new graph.
+	g := datasets.Fig3()
+	p := orb(t, g)
+	for ci := 0; ci < p.NumCells(); ci++ {
+		h, q := OrbitCopy(g, p, ci)
+		ok, err := IsSubAutomorphismPartition(h, q, subAutoLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("copying cell %d broke the sub-automorphism property", ci)
+		}
+	}
+}
+
+func TestTheorem1AnonymizeProducesSubAutomorphism(t *testing.T) {
+	// Theorem 1: any orbit-copy sequence (Algorithm 1 in particular)
+	// yields a sub-automorphism partition of the result.
+	for _, k := range []int{2, 3} {
+		g := datasets.Fig1()
+		res, err := Anonymize(g, orb(t, g), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := IsSubAutomorphismPartition(res.Graph, res.Partition, subAutoLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("k=%d: 𝒱' is not a sub-automorphism partition of G'", k)
+		}
+	}
+}
+
+func TestPropertyTheorem1OnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(8, 0.3, seed)
+		p, _, err := automorphism.OrbitPartition(g, nil)
+		if err != nil {
+			return false
+		}
+		res, err := Anonymize(g, p, 2)
+		if err != nil {
+			return false
+		}
+		ok, err := IsSubAutomorphismPartition(res.Graph, res.Partition, subAutoLimit)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubAutomorphismMismatchedPartition(t *testing.T) {
+	ok, err := IsSubAutomorphismPartition(datasets.Cycle(4), partition.Unit(3), subAutoLimit)
+	if err != nil || ok {
+		t.Fatal("mismatched partition should be rejected")
+	}
+}

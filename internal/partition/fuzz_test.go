@@ -1,0 +1,37 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the cell parser never panics, validates its output,
+// and round-trips anything it accepts.
+func FuzzRead(f *testing.F) {
+	f.Add("0 1\n2\n", 3)
+	f.Add("0\n", 1)
+	f.Add("0 0\n", 1)
+	f.Add("1 2 3", 2)
+	f.Add("# c\n\n0 1", 2)
+	f.Fuzz(func(t *testing.T, in string, n int) {
+		if n < 0 || n > 1000 {
+			return
+		}
+		p, err := Read(strings.NewReader(in), n)
+		if err != nil {
+			return
+		}
+		if p.N() != n {
+			t.Fatalf("accepted partition covers %d, want %d", p.N(), n)
+		}
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		q, err := Read(&buf, n)
+		if err != nil || !p.Equal(q) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package partition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The partition file format is one line per cell: space-separated
+// vertex ids. Lines starting with '#' and blank lines are ignored.
+// The publisher releases 𝒱' alongside the anonymized graph (§4.3), so
+// the format is part of the published artifact.
+
+// Write serializes p, one cell per line.
+func (p *Partition) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, cell := range p.cells {
+		for i, v := range cell {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(v)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a partition of {0..n-1} in the one-cell-per-line format.
+func Read(r io.Reader, n int) (*Partition, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var cells [][]int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var cell []int
+		for _, f := range strings.Fields(text) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("partition: line %d: %q: %w", line, f, err)
+			}
+			cell = append(cell, v)
+		}
+		cells = append(cells, cell)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromCells(n, cells)
+}
+
+// WriteFile writes p to path.
+func (p *Partition) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a partition of {0..n-1} from path.
+func ReadFile(path string, n int) (*Partition, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, n)
+}

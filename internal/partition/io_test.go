@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPartitionIORoundTrip(t *testing.T) {
+	p := MustFromCells(6, [][]int{{0, 3}, {1, 2}, {4}, {5}})
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Read(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatalf("round trip: %v != %v", p, q)
+	}
+}
+
+func TestPartitionReadCommentsAndErrors(t *testing.T) {
+	q, err := Read(strings.NewReader("# cells\n0 1\n\n2\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumCells() != 2 {
+		t.Fatalf("cells = %d", q.NumCells())
+	}
+	if _, err := Read(strings.NewReader("0 x\n"), 2); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := Read(strings.NewReader("0 1\n"), 3); err == nil {
+		t.Fatal("want coverage error")
+	}
+	if _, err := Read(strings.NewReader("0 1 1\n"), 2); err == nil {
+		t.Fatal("want duplicate error")
+	}
+}
+
+func TestPartitionFileRoundTrip(t *testing.T) {
+	p := MustFromCells(4, [][]int{{0, 1, 2, 3}})
+	path := filepath.Join(t.TempDir(), "p.cells")
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadFile(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatal("file round trip differs")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing"), 4); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

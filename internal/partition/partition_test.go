@@ -1,0 +1,234 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromCellsValid(t *testing.T) {
+	p, err := FromCells(5, [][]int{{3, 0}, {1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCells() != 2 || p.N() != 5 {
+		t.Fatalf("NumCells=%d N=%d", p.NumCells(), p.N())
+	}
+	if !reflect.DeepEqual(p.Cell(0), []int{0, 3}) {
+		t.Fatalf("Cell(0) = %v, want sorted [0 3]", p.Cell(0))
+	}
+	if p.CellIndexOf(4) != 1 || p.CellIndexOf(3) != 0 {
+		t.Fatal("CellIndexOf wrong")
+	}
+}
+
+func TestFromCellsErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		cells [][]int
+	}{
+		{"empty-cell", 2, [][]int{{0, 1}, {}}},
+		{"out-of-range", 2, [][]int{{0, 1, 2}}},
+		{"negative", 2, [][]int{{-1, 0, 1}}},
+		{"duplicate", 3, [][]int{{0, 1}, {1, 2}}},
+		{"uncovered", 3, [][]int{{0, 1}}},
+	}
+	for _, c := range cases {
+		if _, err := FromCells(c.n, c.cells); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestMustFromCellsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromCells did not panic on invalid input")
+		}
+	}()
+	MustFromCells(2, [][]int{{0}})
+}
+
+func TestFromCellOfCanonicalOrder(t *testing.T) {
+	// Cell ids 7 and 3 interleaved; canonical order is by smallest member.
+	p := FromCellOf([]int{7, 3, 7, 3})
+	if !reflect.DeepEqual(p.Cell(0), []int{0, 2}) || !reflect.DeepEqual(p.Cell(1), []int{1, 3}) {
+		t.Fatalf("cells = %v", p.Cells())
+	}
+	q := FromCellOf([]int{0, 1, 0, 1})
+	if !p.Equal(q) {
+		t.Fatal("renumbered partitions should be equal")
+	}
+}
+
+func TestUnitDiscrete(t *testing.T) {
+	u := Unit(4)
+	if u.NumCells() != 1 || u.MinCellSize() != 4 {
+		t.Fatal("Unit wrong")
+	}
+	d := Discrete(4)
+	if d.NumCells() != 4 || !d.IsDiscrete() || d.SingletonCount() != 4 {
+		t.Fatal("Discrete wrong")
+	}
+	if u.IsDiscrete() {
+		t.Fatal("Unit(4) is not discrete")
+	}
+	if !Unit(1).IsDiscrete() {
+		t.Fatal("Unit(1) is discrete")
+	}
+}
+
+func TestIsFinerThan(t *testing.T) {
+	coarse := MustFromCells(4, [][]int{{0, 1, 2}, {3}})
+	fine := MustFromCells(4, [][]int{{0, 1}, {2}, {3}})
+	if !fine.IsFinerThan(coarse) {
+		t.Fatal("fine should refine coarse")
+	}
+	if coarse.IsFinerThan(fine) {
+		t.Fatal("coarse should not refine fine")
+	}
+	if !coarse.IsFinerThan(coarse) {
+		t.Fatal("partition refines itself")
+	}
+	other := MustFromCells(4, [][]int{{0, 3}, {1, 2}})
+	if other.IsFinerThan(coarse) || coarse.IsFinerThan(other) {
+		t.Fatal("incomparable partitions misordered")
+	}
+}
+
+func TestMinCellSizeAndSingletons(t *testing.T) {
+	p := MustFromCells(6, [][]int{{0, 1, 2}, {3}, {4, 5}})
+	if p.MinCellSize() != 1 {
+		t.Fatalf("MinCellSize = %d", p.MinCellSize())
+	}
+	if p.SingletonCount() != 1 {
+		t.Fatalf("SingletonCount = %d", p.SingletonCount())
+	}
+}
+
+func TestIsStabilizedBy(t *testing.T) {
+	// Partition {{0,1},{2,3}} of a 4-cycle.
+	p := MustFromCells(4, [][]int{{0, 1}, {2, 3}})
+	if !p.IsStabilizedBy([]int{1, 0, 3, 2}) {
+		t.Fatal("swap within cells stabilizes")
+	}
+	if !p.IsStabilizedBy([]int{0, 1, 2, 3}) {
+		t.Fatal("identity stabilizes")
+	}
+	if p.IsStabilizedBy([]int{2, 3, 0, 1}) {
+		// Maps cell {0,1} to {2,3}: as a *set of cells* this fixes 𝒱, so
+		// it actually should stabilize. Verify the semantics: Def. 2 asks
+		// 𝒱^g = 𝒱 as a set of cells.
+		t.Log("cell-swapping permutation stabilizes the partition as a set")
+	}
+	if !p.IsStabilizedBy([]int{2, 3, 0, 1}) {
+		t.Fatal("cell-swapping permutation should stabilize 𝒱 as a set")
+	}
+	if p.IsStabilizedBy([]int{1, 2, 3, 0}) {
+		t.Fatal("rotation splits cells, should not stabilize")
+	}
+}
+
+func TestIsStabilizedByUnevenCells(t *testing.T) {
+	p := MustFromCells(3, [][]int{{0, 1}, {2}})
+	if p.IsStabilizedBy([]int{2, 1, 0}) {
+		t.Fatal("mapping a 2-cell into a 1-cell cannot stabilize")
+	}
+}
+
+func TestBySignature(t *testing.T) {
+	p := BySignature(5, func(v int) string {
+		if v%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	})
+	want := MustFromCells(5, [][]int{{0, 2, 4}, {1, 3}})
+	if !p.Equal(want) {
+		t.Fatalf("BySignature = %v, want %v", p, want)
+	}
+}
+
+func TestCommonRefinement(t *testing.T) {
+	p := MustFromCells(4, [][]int{{0, 1}, {2, 3}})
+	q := MustFromCells(4, [][]int{{0, 2}, {1, 3}})
+	r := CommonRefinement(p, q)
+	if !r.Equal(Discrete(4)) {
+		t.Fatalf("refinement = %v, want discrete", r)
+	}
+	if !CommonRefinement(p, p).Equal(p) {
+		t.Fatal("self-refinement should be identity")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustFromCells(3, [][]int{{0, 2}, {1}})
+	s := p.String()
+	if !strings.Contains(s, "[0 2]") || !strings.Contains(s, "[1]") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustFromCells(3, [][]int{{0, 1}, {2}})
+	c := p.Clone()
+	if !p.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.cells[0][0] = 99
+	if p.cells[0][0] == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestPropertyRefinementIsFiner(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(4)
+		}
+		p, q := FromCellOf(a), FromCellOf(b)
+		r := CommonRefinement(p, q)
+		return r.IsFinerThan(p) && r.IsFinerThan(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCellsCoverExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = rng.Intn(5)
+		}
+		p := FromCellOf(ids)
+		seen := make([]bool, n)
+		for _, cell := range p.Cells() {
+			for _, v := range cell {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

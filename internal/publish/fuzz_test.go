@@ -1,0 +1,33 @@
+package publish
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the release parser never panics and that accepted
+// releases validate and round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("# ksymmetry-release v1\n%original-n 2\n%graph\n2 1\n0 1\n%partition\n0 1\n%end\n")
+	f.Add("")
+	f.Add("%graph\n")
+	f.Add("# ksymmetry-release v1\n%original-n x\n%end\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		rel, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := rel.Validate(); err != nil {
+			t.Fatalf("accepted release fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rel.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil || !got.Graph.Equal(rel.Graph) || !got.Partition.Equal(rel.Partition) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package publish bundles the three artifacts the §4.3 protocol
+// releases to the public — the anonymized graph G', its
+// sub-automorphism partition 𝒱', and the original vertex count
+// |V(G)| — into a single self-describing release file, with integrity
+// validation on load.
+package publish
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/partition"
+)
+
+// Release is the published artifact.
+type Release struct {
+	// Graph is the anonymized network G'.
+	Graph *graph.Graph
+	// Partition is the sub-automorphism partition 𝒱' of G'.
+	Partition *partition.Partition
+	// OriginalN is |V(G)|, which samplers need to size their output.
+	OriginalN int
+}
+
+// FromResult packages an anonymization result.
+func FromResult(res *ksym.Result) *Release {
+	return &Release{Graph: res.Graph, Partition: res.Partition, OriginalN: res.OriginalN}
+}
+
+// Validate checks internal consistency: partition covers the graph,
+// and the original count is positive and no larger than |V(G')|.
+func (r *Release) Validate() error {
+	if r.Graph == nil || r.Partition == nil {
+		return fmt.Errorf("publish: nil graph or partition")
+	}
+	if r.Partition.N() != r.Graph.N() {
+		return fmt.Errorf("publish: partition covers %d vertices, graph has %d", r.Partition.N(), r.Graph.N())
+	}
+	if r.OriginalN < 1 || r.OriginalN > r.Graph.N() {
+		return fmt.Errorf("publish: original vertex count %d outside [1,%d]", r.OriginalN, r.Graph.N())
+	}
+	return nil
+}
+
+const (
+	header   = "ksymmetry-release v1"
+	secGraph = "%graph"
+	secCells = "%partition"
+	secOrig  = "%original-n"
+	secEnd   = "%end"
+)
+
+// Write serializes the release.
+func (r *Release) Write(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n%s %d\n%s\n", header, secOrig, r.OriginalN, secGraph)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := r.Graph.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "%s\n", secCells)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := r.Partition.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "%s\n", secEnd)
+	return bw.Flush()
+}
+
+// Read parses and validates a release.
+func Read(rd io.Reader) (*Release, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	rel := &Release{}
+	var graphLines, cellLines []string
+	section := ""
+	sawHeader := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if strings.Contains(line, header) {
+				sawHeader = true
+			}
+			continue
+		case strings.HasPrefix(line, secOrig):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, secOrig)))
+			if err != nil {
+				return nil, fmt.Errorf("publish: bad %s line %q", secOrig, line)
+			}
+			rel.OriginalN = n
+		case line == secGraph:
+			section = "graph"
+		case line == secCells:
+			section = "cells"
+		case line == secEnd:
+			section = "end"
+		default:
+			switch section {
+			case "graph":
+				graphLines = append(graphLines, line)
+			case "cells":
+				cellLines = append(cellLines, line)
+			default:
+				return nil, fmt.Errorf("publish: unexpected line %q outside any section", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("publish: missing %q header", header)
+	}
+	if section != "end" {
+		return nil, fmt.Errorf("publish: truncated release (no %s marker)", secEnd)
+	}
+	g, err := graph.Read(strings.NewReader(strings.Join(graphLines, "\n") + "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("publish: graph section: %w", err)
+	}
+	p, err := partition.Read(strings.NewReader(strings.Join(cellLines, "\n")+"\n"), g.N())
+	if err != nil {
+		return nil, fmt.Errorf("publish: partition section: %w", err)
+	}
+	rel.Graph = g
+	rel.Partition = p
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// WriteFile writes the release to path.
+func (r *Release) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a release from path.
+func ReadFile(path string) (*Release, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,134 @@
+package publish
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/ksym"
+)
+
+func release(t *testing.T) *Release {
+	t.Helper()
+	g := datasets.Fig3()
+	orb, _, err := automorphism.OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ksym.Anonymize(g, orb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromResult(res)
+}
+
+func TestReleaseRoundTrip(t *testing.T) {
+	rel := release(t)
+	var buf bytes.Buffer
+	if err := rel.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Graph.Equal(rel.Graph) {
+		t.Fatal("graph differs after round trip")
+	}
+	if !got.Partition.Equal(rel.Partition) {
+		t.Fatal("partition differs after round trip")
+	}
+	if got.OriginalN != rel.OriginalN {
+		t.Fatalf("originalN %d != %d", got.OriginalN, rel.OriginalN)
+	}
+}
+
+func TestReleaseFileRoundTrip(t *testing.T) {
+	rel := release(t)
+	path := filepath.Join(t.TempDir(), "r.ksym")
+	if err := rel.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OriginalN != rel.OriginalN || !got.Graph.Equal(rel.Graph) {
+		t.Fatal("file round trip differs")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	rel := release(t)
+	if err := rel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *rel
+	bad.OriginalN = 0
+	if bad.Validate() == nil {
+		t.Fatal("OriginalN=0 should fail validation")
+	}
+	bad.OriginalN = rel.Graph.N() + 1
+	if bad.Validate() == nil {
+		t.Fatal("OriginalN > N should fail validation")
+	}
+	bad2 := *rel
+	bad2.Graph = nil
+	if bad2.Validate() == nil {
+		t.Fatal("nil graph should fail validation")
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	rel := release(t)
+	var buf bytes.Buffer
+	if err := rel.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"missing-header", strings.Replace(full, "# ksymmetry-release v1", "# nope", 1)},
+		{"truncated", full[:len(full)/2]},
+		{"no-end", strings.Replace(full, "%end", "", 1)},
+		{"garbage-outside-section", "# ksymmetry-release v1\nhello\n%end\n"},
+		{"bad-original", strings.Replace(full, "%original-n", "%original-n x", 1)},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestReadRejectsInconsistentPartition(t *testing.T) {
+	rel := release(t)
+	var buf bytes.Buffer
+	if err := rel.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one partition line: coverage check must fire.
+	lines := strings.Split(buf.String(), "\n")
+	var out []string
+	dropped := false
+	inCells := false
+	for _, l := range lines {
+		if l == "%partition" {
+			inCells = true
+		}
+		if inCells && !dropped && l != "%partition" && l != "" && !strings.HasPrefix(l, "%") {
+			dropped = true
+			continue
+		}
+		out = append(out, l)
+	}
+	if _, err := Read(strings.NewReader(strings.Join(out, "\n"))); err == nil {
+		t.Fatal("dropped cell should fail coverage validation")
+	}
+}

@@ -1,0 +1,113 @@
+// Package refine implements equitable partition refinement (1-WL /
+// iterated degree refinement, the "graph stabilization" of Klin &
+// Tinhofer cited in §7 of the paper). The stabilized unit partition is
+// the total degree partition 𝒯𝒟𝒱(G), which the paper reports to equal
+// the automorphism partition Orb(G) on all of its real networks and
+// recommends as a scalable substitute when exact search is infeasible.
+//
+// Refinement is also the workhorse inside the individualization-
+// refinement automorphism search (package automorphism): Orb(G) is
+// always finer than any equitable partition, so refined cells bound the
+// search.
+package refine
+
+import (
+	"sort"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+// Equitable refines the initial partition of g's vertices until it is
+// equitable: any two vertices in the same cell have, for every cell C,
+// the same number of neighbors in C. The result is the coarsest
+// equitable partition finer than initial.
+func Equitable(g *graph.Graph, initial *partition.Partition) *partition.Partition {
+	if initial.N() != g.N() {
+		panic("refine: partition size does not match graph")
+	}
+	n := g.N()
+	color := make([]int, n)
+	for v := 0; v < n; v++ {
+		color[v] = initial.CellIndexOf(v)
+	}
+	numColors := initial.NumCells()
+	// Refine until the number of classes stops growing. Each effective
+	// round strictly increases the class count, so at most n rounds.
+	buf := make([]int, 0, 16)
+	for {
+		id := map[string]int{}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			buf = buf[:0]
+			buf = append(buf, color[v])
+			for _, w := range g.Neighbors(v) {
+				buf = append(buf, color[w])
+			}
+			sort.Ints(buf[1:])
+			s := intsKey(buf)
+			c, ok := id[s]
+			if !ok {
+				c = len(id)
+				id[s] = c
+			}
+			next[v] = c
+		}
+		if len(id) == numColors {
+			break
+		}
+		numColors = len(id)
+		copy(color, next)
+	}
+	return partition.FromCellOf(color)
+}
+
+// TotalDegreePartition returns 𝒯𝒟𝒱(G): the coarsest equitable partition
+// of G, obtained by stabilizing the unit partition. It is always coarser
+// than (or equal to) Orb(G).
+func TotalDegreePartition(g *graph.Graph) *partition.Partition {
+	if g.N() == 0 {
+		return partition.FromCellOf(nil)
+	}
+	return Equitable(g, partition.Unit(g.N()))
+}
+
+// DegreePartition groups vertices by degree — the starting point of the
+// k-degree anonymity baseline and the first refinement step.
+func DegreePartition(g *graph.Graph) *partition.Partition {
+	return partition.BySignature(g.N(), func(v int) string {
+		return intsKey([]int{g.Degree(v)})
+	})
+}
+
+// IsEquitable reports whether p is equitable with respect to g.
+func IsEquitable(g *graph.Graph, p *partition.Partition) bool {
+	for _, cell := range p.Cells() {
+		if len(cell) == 1 {
+			continue
+		}
+		ref := cellProfile(g, p, cell[0])
+		for _, v := range cell[1:] {
+			if cellProfile(g, p, v) != ref {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func cellProfile(g *graph.Graph, p *partition.Partition, v int) string {
+	counts := make([]int, p.NumCells())
+	for _, w := range g.Neighbors(v) {
+		counts[p.CellIndexOf(w)]++
+	}
+	return intsKey(counts)
+}
+
+func intsKey(s []int) string {
+	b := make([]byte, 0, 4*len(s))
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,176 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func star(n int) *graph.Graph {
+	g := graph.New(n + 1)
+	for i := 1; i <= n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestTDPRegularGraphStaysUnit(t *testing.T) {
+	// A cycle is vertex-transitive; refinement cannot split anything.
+	p := TotalDegreePartition(cycle(7))
+	if p.NumCells() != 1 {
+		t.Fatalf("C7 TDP = %v, want unit", p)
+	}
+}
+
+func TestTDPStar(t *testing.T) {
+	p := TotalDegreePartition(star(4))
+	want := partition.MustFromCells(5, [][]int{{0}, {1, 2, 3, 4}})
+	if !p.Equal(want) {
+		t.Fatalf("star TDP = %v, want %v", p, want)
+	}
+}
+
+func TestTDPPath(t *testing.T) {
+	// P5 (0-1-2-3-4): orbits are {0,4},{1,3},{2} and TDP matches.
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	p := TotalDegreePartition(g)
+	want := partition.MustFromCells(5, [][]int{{0, 4}, {1, 3}, {2}})
+	if !p.Equal(want) {
+		t.Fatalf("P5 TDP = %v, want %v", p, want)
+	}
+}
+
+func TestTDPFig1Graph(t *testing.T) {
+	// The paper's Figure 1 network, reconstructed (0-indexed, v_i →
+	// i-1) to satisfy every textual claim of §2.1: orbits {1,3},
+	// {4,5}, {6,8} plus singletons {2},{7}; candidate set under
+	// "Bob has ≥3 neighbors" is {2,4,5}; Bob (v2) has exactly two
+	// degree-1 neighbors.
+	g := graph.New(8)
+	g.AddEdge(1, 0) // Bob-Alice
+	g.AddEdge(1, 2) // Bob-Carol
+	g.AddEdge(1, 3) // Bob-Dave
+	g.AddEdge(1, 4) // Bob-Ed
+	g.AddEdge(3, 4) // Dave-Ed
+	g.AddEdge(3, 5) // Dave-Fred
+	g.AddEdge(4, 7) // Ed-Harry
+	g.AddEdge(5, 6) // Fred-Greg
+	g.AddEdge(7, 6) // Harry-Greg
+	p := TotalDegreePartition(g)
+	want := partition.MustFromCells(8, [][]int{{0, 2}, {1}, {3, 4}, {5, 7}, {6}})
+	if !p.Equal(want) {
+		t.Fatalf("Fig.1 TDP = %v, want %v", p, want)
+	}
+}
+
+func TestEquitableRespectsInitial(t *testing.T) {
+	g := cycle(6)
+	init := partition.MustFromCells(6, [][]int{{0, 2, 4}, {1, 3, 5}})
+	p := Equitable(g, init)
+	if !p.IsFinerThan(init) {
+		t.Fatal("refined partition must refine the initial one")
+	}
+	// C6 with alternating colors is equitable already.
+	if !p.Equal(init) {
+		t.Fatalf("alternating C6 coloring should be stable, got %v", p)
+	}
+}
+
+func TestEquitableIndividualization(t *testing.T) {
+	// Individualizing one vertex of C6 splits the cycle by distance.
+	g := cycle(6)
+	init := partition.MustFromCells(6, [][]int{{0}, {1, 2, 3, 4, 5}})
+	p := Equitable(g, init)
+	want := partition.MustFromCells(6, [][]int{{0}, {1, 5}, {2, 4}, {3}})
+	if !p.Equal(want) {
+		t.Fatalf("individualized C6 = %v, want %v", p, want)
+	}
+}
+
+func TestIsEquitable(t *testing.T) {
+	g := star(3)
+	if !IsEquitable(g, partition.MustFromCells(4, [][]int{{0}, {1, 2, 3}})) {
+		t.Fatal("star partition should be equitable")
+	}
+	if IsEquitable(g, partition.Unit(4)) {
+		t.Fatal("unit partition of a star is not equitable")
+	}
+}
+
+func TestDegreePartition(t *testing.T) {
+	g := star(3)
+	p := DegreePartition(g)
+	want := partition.MustFromCells(4, [][]int{{0}, {1, 2, 3}})
+	if !p.Equal(want) {
+		t.Fatalf("degree partition = %v", p)
+	}
+}
+
+func TestTDPEmptyGraph(t *testing.T) {
+	p := TotalDegreePartition(graph.New(0))
+	if p.N() != 0 || p.NumCells() != 0 {
+		t.Fatalf("empty TDP = %v", p)
+	}
+}
+
+func TestPropertyEquitableOutputIsEquitable(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(20, 0.2, seed)
+		p := TotalDegreePartition(g)
+		return IsEquitable(g, p) && p.IsFinerThan(partition.Unit(g.N()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEquitableIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(18, 0.25, seed)
+		p := TotalDegreePartition(g)
+		return Equitable(g, p).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRefinementInvariantUnderRelabel(t *testing.T) {
+	// |TDP cells| is a graph invariant.
+	f := func(seed int64) bool {
+		g := randomGraph(16, 0.3, seed)
+		perm := rand.New(rand.NewSource(seed + 99)).Perm(g.N())
+		h := g.Permute(perm)
+		return TotalDegreePartition(g).NumCells() == TotalDegreePartition(h).NumCells()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

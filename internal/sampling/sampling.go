@@ -1,0 +1,248 @@
+// Package sampling implements the backbone-based sampling strategies of
+// §4.2: the analyst receives the published k-symmetric graph G' with its
+// partition 𝒱' and |V(G)|, and extracts approximate versions of the
+// original network from it. Exact sampling (Algorithm 3) regrows the
+// detected backbone by weighted orbit copying; approximate sampling
+// (Algorithms 4 and 5) selects vertices by a quota-guided depth-first
+// traversal of G' in linear time.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/partition"
+)
+
+// Options configures a sampler.
+type Options struct {
+	// Probabilities is p[1..|𝒱'|]: the chance of assigning the next
+	// vertex budget to each cell. nil selects the paper's default,
+	// inverse-degree weights (§4.2.2): real networks are right-skewed,
+	// so low-degree cells receive proportionally more of the budget.
+	Probabilities []float64
+	// Rng drives all random choices; it must not be nil.
+	Rng *rand.Rand
+}
+
+// InverseDegreeProbabilities returns the §4.2.2 default weights
+// p[i] = d_i⁻¹ / Σ d_j⁻¹, where d_i is the degree of cell i's vertices
+// (cells of a sub-automorphism partition are degree-uniform). Isolated
+// vertices are weighted as degree 1.
+func InverseDegreeProbabilities(g *graph.Graph, p *partition.Partition) []float64 {
+	ws := make([]float64, p.NumCells())
+	total := 0.0
+	for i := 0; i < p.NumCells(); i++ {
+		d := g.Degree(p.Cell(i)[0])
+		if d < 1 {
+			d = 1
+		}
+		ws[i] = 1 / float64(d)
+		total += ws[i]
+	}
+	for i := range ws {
+		ws[i] /= total
+	}
+	return ws
+}
+
+// UniformProbabilities returns equal weights for every cell — the
+// ablation alternative to the inverse-degree default.
+func UniformProbabilities(p *partition.Partition) []float64 {
+	ws := make([]float64, p.NumCells())
+	for i := range ws {
+		ws[i] = 1 / float64(p.NumCells())
+	}
+	return ws
+}
+
+func (o *Options) validate(g *graph.Graph, p *partition.Partition) ([]float64, error) {
+	if o == nil || o.Rng == nil {
+		return nil, fmt.Errorf("sampling: Options.Rng is required")
+	}
+	probs := o.Probabilities
+	if probs == nil {
+		probs = InverseDegreeProbabilities(g, p)
+	}
+	if len(probs) != p.NumCells() {
+		return nil, fmt.Errorf("sampling: %d probabilities for %d cells", len(probs), p.NumCells())
+	}
+	return probs, nil
+}
+
+// pickWeighted draws an index from the eligible set with probability
+// proportional to probs, or -1 when no index is eligible.
+func pickWeighted(rng *rand.Rand, probs []float64, eligible func(i int) bool) int {
+	total := 0.0
+	for i, w := range probs {
+		if eligible(i) {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := rng.Float64() * total
+	for i, w := range probs {
+		if !eligible(i) {
+			continue
+		}
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	for i := len(probs) - 1; i >= 0; i-- {
+		if eligible(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Exact implements Algorithm 3: detect the backbone of (G',𝒱'), then
+// distribute the n - |V(B)| remaining vertex budget over backbone cells
+// with probability p[i], subject to never exceeding the published
+// cell sizes, and regrow by orbit copying. The output has at least n
+// vertices and overshoots by at most the size of the last-copied cell.
+func Exact(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*graph.Graph, error) {
+	probs, err := opts.validate(gp, vp)
+	if err != nil {
+		return nil, err
+	}
+	if vp.N() != gp.N() {
+		return nil, fmt.Errorf("sampling: partition covers %d vertices, graph has %d", vp.N(), gp.N())
+	}
+	if n < 1 || n > gp.N() {
+		return nil, fmt.Errorf("sampling: target size %d outside [1,%d]", n, gp.N())
+	}
+	bb := ksym.Backbone(gp, vp)
+	// Map backbone cells onto 𝒱' cells to reuse the given probabilities
+	// and enforce the size constraint.
+	cellOfB := make([]int, bb.Partition.NumCells())
+	bprobs := make([]float64, bb.Partition.NumCells())
+	for i := 0; i < bb.Partition.NumCells(); i++ {
+		orig := vp.CellIndexOf(bb.OrigOf[bb.Partition.Cell(i)[0]])
+		cellOfB[i] = orig
+		bprobs[i] = probs[orig]
+	}
+	cpn := make([]int, bb.Partition.NumCells())
+	budget := n - bb.Graph.N()
+	for budget > 0 {
+		i := pickWeighted(opts.Rng, bprobs, func(i int) bool {
+			bi := len(bb.Partition.Cell(i))
+			return (cpn[i]+2)*bi <= len(vp.Cell(cellOfB[i]))
+		})
+		if i < 0 {
+			break // no cell can grow further within the published sizes
+		}
+		cpn[i]++
+		budget -= len(bb.Partition.Cell(i))
+	}
+	// Regrow: repeat Ocp(B, ℬ, B_i) cpn[i] times (each operation copies
+	// the original backbone cell, as in Algorithm 1).
+	h := bb.Graph.Clone()
+	cellOf := make([]int, h.N())
+	for v := 0; v < h.N(); v++ {
+		cellOf[v] = bb.Partition.CellIndexOf(v)
+	}
+	for i := 0; i < bb.Partition.NumCells(); i++ {
+		for c := 0; c < cpn[i]; c++ {
+			ksym.CopyCellInPlace(h, &cellOf, i, bb.Partition.Cell(i))
+		}
+	}
+	return h, nil
+}
+
+// Approximate implements Algorithms 4 and 5: distribute per-cell vertex
+// quotas S[i] (each cell contributes at least one vertex), then select
+// vertices by a depth-first traversal of G' from a random root,
+// honoring the quotas, and return the subgraph induced by the selected
+// vertices. The traversal only descends through selected vertices, so
+// the sample is connected when G' is well-covered; if the walk blocks
+// before reaching n vertices, it restarts from an unvisited vertex
+// (a documented extension — the paper leaves this case unspecified).
+func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*graph.Graph, error) {
+	probs, err := opts.validate(gp, vp)
+	if err != nil {
+		return nil, err
+	}
+	if vp.N() != gp.N() {
+		return nil, fmt.Errorf("sampling: partition covers %d vertices, graph has %d", vp.N(), gp.N())
+	}
+	if n < vp.NumCells() || n > gp.N() {
+		return nil, fmt.Errorf("sampling: target size %d outside [%d,%d]", n, vp.NumCells(), gp.N())
+	}
+	rng := opts.Rng
+	// Algorithm 4, lines 1-6: quotas.
+	s := make([]int, vp.NumCells())
+	for i := range s {
+		s[i] = 1
+	}
+	budget := n - vp.NumCells()
+	for budget > 0 {
+		i := pickWeighted(rng, probs, func(i int) bool { return s[i] < len(vp.Cell(i)) })
+		if i < 0 {
+			break
+		}
+		s[i]++
+		budget--
+	}
+	// Algorithm 4, lines 7-12 and Algorithm 5: quota-guided DFS.
+	visited := make([]bool, gp.N())
+	selected := make([]bool, gp.N())
+	remaining := n
+	var dfs func(v int)
+	dfs = func(v int) {
+		for _, u := range gp.Neighbors(v) {
+			if remaining < 1 {
+				return
+			}
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			if t := vp.CellIndexOf(u); s[t] > 0 {
+				selected[u] = true
+				s[t]--
+				remaining--
+				dfs(u)
+			}
+		}
+	}
+	start := func(r int) {
+		visited[r] = true
+		if t := vp.CellIndexOf(r); s[t] > 0 {
+			selected[r] = true
+			s[t]--
+			remaining--
+			dfs(r)
+		}
+	}
+	start(rng.Intn(gp.N()))
+	// Restart from unvisited vertices in cells with open quota until the
+	// target is met or nothing remains.
+	for remaining > 0 {
+		r := -1
+		for v := 0; v < gp.N(); v++ {
+			if !visited[v] && s[vp.CellIndexOf(v)] > 0 {
+				r = v
+				break
+			}
+		}
+		if r < 0 {
+			break
+		}
+		start(r)
+	}
+	var keep []int
+	for v := 0; v < gp.N(); v++ {
+		if selected[v] {
+			keep = append(keep, v)
+		}
+	}
+	sub, _ := gp.InducedSubgraph(keep)
+	return sub, nil
+}

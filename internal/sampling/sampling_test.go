@@ -1,0 +1,245 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/partition"
+)
+
+func orb(t *testing.T, g *graph.Graph) *partition.Partition {
+	t.Helper()
+	p, _, err := automorphism.OrbitPartition(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// anonFig3 returns the Fig. 3 graph anonymized with the given k.
+func anonFig3(t *testing.T, k int) (*graph.Graph, *ksym.Result) {
+	t.Helper()
+	g := datasets.Fig3()
+	res, err := ksym.Anonymize(g, orb(t, g), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func opts(seed int64) *Options {
+	return &Options{Rng: rand.New(rand.NewSource(seed))}
+}
+
+func TestInverseDegreeProbabilities(t *testing.T) {
+	g := datasets.Star(3)
+	p := orb(t, g)
+	probs := InverseDegreeProbabilities(g, p)
+	if len(probs) != 2 {
+		t.Fatalf("probs = %v", probs)
+	}
+	sum := 0.0
+	for _, w := range probs {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// Leaf cell (degree 1) weight must exceed hub cell (degree 3).
+	hub, leaf := p.CellIndexOf(0), p.CellIndexOf(1)
+	if probs[leaf] <= probs[hub] {
+		t.Fatalf("inverse-degree weights wrong: leaf %v ≤ hub %v", probs[leaf], probs[hub])
+	}
+}
+
+func TestUniformProbabilities(t *testing.T) {
+	p := partition.MustFromCells(4, [][]int{{0, 1}, {2}, {3}})
+	probs := UniformProbabilities(p)
+	for _, w := range probs {
+		if math.Abs(w-1.0/3.0) > 1e-12 {
+			t.Fatalf("uniform probs = %v", probs)
+		}
+	}
+}
+
+func TestExactSampleSize(t *testing.T) {
+	g, res := anonFig3(t, 3)
+	for seed := int64(0); seed < 10; seed++ {
+		s, err := Exact(res.Graph, res.Partition, g.N(), opts(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ≥ n, overshoot bounded by the largest cell of the backbone.
+		if s.N() < g.N() || s.N() > g.N()+2 {
+			t.Fatalf("seed %d: sample size %d, want ≈%d", seed, s.N(), g.N())
+		}
+	}
+}
+
+func TestExactSampleFullSize(t *testing.T) {
+	// Requesting |V(G')| must regrow everything.
+	_, res := anonFig3(t, 3)
+	s, err := Exact(res.Graph, res.Partition, res.Graph.N(), opts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != res.Graph.N() {
+		t.Fatalf("full regrow: %d != %d", s.N(), res.Graph.N())
+	}
+	if _, ok := graph.Isomorphic(s, res.Graph); !ok {
+		t.Fatal("full regrow should reproduce G' up to isomorphism")
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	_, res := anonFig3(t, 2)
+	if _, err := Exact(res.Graph, res.Partition, 0, opts(1)); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := Exact(res.Graph, res.Partition, res.Graph.N()+1, opts(1)); err == nil {
+		t.Fatal("n > |V(G')| should error")
+	}
+	if _, err := Exact(res.Graph, res.Partition, 5, nil); err == nil {
+		t.Fatal("nil options should error")
+	}
+	if _, err := Exact(res.Graph, res.Partition, 5, &Options{Rng: rand.New(rand.NewSource(1)), Probabilities: []float64{1}}); err == nil {
+		t.Fatal("wrong probability count should error")
+	}
+	if _, err := Exact(res.Graph, partition.Unit(2), 5, opts(1)); err == nil {
+		t.Fatal("mismatched partition should error")
+	}
+}
+
+func TestApproximateSampleSize(t *testing.T) {
+	g, res := anonFig3(t, 3)
+	for seed := int64(0); seed < 10; seed++ {
+		s, err := Approximate(res.Graph, res.Partition, g.N(), opts(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.N() != g.N() {
+			t.Fatalf("seed %d: sample size %d, want %d", seed, s.N(), g.N())
+		}
+	}
+}
+
+func TestApproximateFullSize(t *testing.T) {
+	_, res := anonFig3(t, 2)
+	s, err := Approximate(res.Graph, res.Partition, res.Graph.N(), opts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != res.Graph.N() {
+		t.Fatalf("full sample: %d != %d", s.N(), res.Graph.N())
+	}
+	if s.M() != res.Graph.M() {
+		t.Fatalf("full sample edges: %d != %d", s.M(), res.Graph.M())
+	}
+}
+
+func TestApproximateRespectsQuotas(t *testing.T) {
+	// Every 𝒱' cell must contribute at least one vertex (S initialized
+	// to 1), and no cell more than its size.
+	g, res := anonFig3(t, 5)
+	s, err := Approximate(res.Graph, res.Partition, g.N(), opts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != g.N() {
+		t.Fatalf("sample size %d", s.N())
+	}
+}
+
+func TestApproximateErrors(t *testing.T) {
+	_, res := anonFig3(t, 2)
+	if _, err := Approximate(res.Graph, res.Partition, 2, opts(1)); err == nil {
+		t.Fatal("n below cell count should error")
+	}
+	if _, err := Approximate(res.Graph, res.Partition, res.Graph.N()+1, opts(1)); err == nil {
+		t.Fatal("n above graph size should error")
+	}
+	if _, err := Approximate(res.Graph, res.Partition, 8, &Options{}); err == nil {
+		t.Fatal("missing rng should error")
+	}
+}
+
+func TestApproximateConnectedOnConnectedInput(t *testing.T) {
+	// Fig. 3's anonymized graph is connected; DFS sampling from it
+	// should usually produce a connected subgraph. With restarts the
+	// guarantee is "few components"; assert the common case across
+	// seeds but tolerate restart-induced splits.
+	g, res := anonFig3(t, 3)
+	connected := 0
+	const trials = 20
+	for seed := int64(0); seed < trials; seed++ {
+		s, err := Approximate(res.Graph, res.Partition, g.N(), opts(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.IsConnected() {
+			connected++
+		}
+	}
+	if connected < trials/2 {
+		t.Fatalf("only %d/%d samples connected", connected, trials)
+	}
+}
+
+func TestSamplersPreserveDegreeShape(t *testing.T) {
+	// The sampled graph of the star's anonymization must still be
+	// star-like: one hub cell vertex and many leaves.
+	g := datasets.Star(6)
+	p := orb(t, g)
+	res, err := ksym.Anonymize(g, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Approximate(res.Graph, res.Partition, g.N(), opts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != g.N() {
+		t.Fatalf("sample size %d", s.N())
+	}
+	if s.MaxDegree() < 2 {
+		t.Fatalf("sampled star lost its hub: max degree %d", s.MaxDegree())
+	}
+}
+
+func TestExactSamplerUniformVsInverse(t *testing.T) {
+	// Both probability schemes must produce valid samples (ablation).
+	g, res := anonFig3(t, 4)
+	for _, probs := range [][]float64{
+		nil,
+		UniformProbabilities(res.Partition),
+	} {
+		o := &Options{Rng: rand.New(rand.NewSource(2)), Probabilities: probs}
+		s, err := Exact(res.Graph, res.Partition, g.N(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.N() < g.N() {
+			t.Fatalf("sample too small: %d", s.N())
+		}
+	}
+}
+
+func TestExactDeterministicForSeed(t *testing.T) {
+	g, res := anonFig3(t, 3)
+	a, err := Exact(res.Graph, res.Partition, g.N(), opts(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Exact(res.Graph, res.Partition, g.N(), opts(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different samples")
+	}
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+
+	"ksymmetry/internal/graph"
+)
+
+// Extended utility metrics beyond the four the paper measures in §4.3.
+// They feed the extended-utility experiment (DESIGN.md §4): if sampled
+// graphs preserve these too, the utility claim strengthens.
+
+// Betweenness returns the betweenness centrality of every vertex,
+// computed exactly with Brandes' algorithm in O(V·E) for unweighted
+// graphs. Values use the standard convention of counting each
+// unordered pair once (results are halved).
+func Betweenness(g *graph.Graph) []float64 {
+	n := g.N()
+	cb := make([]float64, n)
+	// Reused per-source buffers.
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	preds := make([][]int, n)
+	stack := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		stack = stack[:0]
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	for i := range cb {
+		cb[i] /= 2 // undirected: each pair counted from both endpoints
+	}
+	return cb
+}
+
+// BetweennessSample returns the betweenness centralities as a Sample
+// for KS comparison.
+func BetweennessSample(g *graph.Graph) Sample {
+	return NewSample(Betweenness(g))
+}
+
+// DegreeAssortativity returns the Pearson correlation of degrees across
+// edges (Newman's assortativity coefficient r ∈ [-1,1]). Social
+// networks are typically assortative (r > 0); technological networks
+// disassortative. Returns 0 for graphs where the correlation is
+// undefined (no edges or constant degrees).
+func DegreeAssortativity(g *graph.Graph) float64 {
+	m := float64(g.M())
+	if m == 0 {
+		return 0
+	}
+	var sumXY, sumX, sumX2 float64
+	for _, e := range g.Edges() {
+		du := float64(g.Degree(e[0]))
+		dv := float64(g.Degree(e[1]))
+		sumXY += du * dv
+		sumX += (du + dv) / 2
+		sumX2 += (du*du + dv*dv) / 2
+	}
+	num := sumXY/m - (sumX/m)*(sumX/m)
+	den := sumX2/m - (sumX/m)*(sumX/m)
+	if den == 0 || math.IsNaN(num/den) {
+		return 0
+	}
+	return num / den
+}
+
+// Eccentricities returns each vertex's eccentricity — the longest
+// shortest path from it — or -1 for vertices in graphs that are
+// disconnected (eccentricity is infinite there). O(V·E) via one BFS per
+// vertex.
+func Eccentricities(g *graph.Graph) []int {
+	n := g.N()
+	ecc := make([]int, n)
+	for v := 0; v < n; v++ {
+		max := 0
+		for _, d := range g.BFSDistances(v) {
+			if d < 0 {
+				max = -1
+				break
+			}
+			if d > max {
+				max = d
+			}
+		}
+		ecc[v] = max
+	}
+	return ecc
+}
+
+// Diameter returns the graph diameter (maximum eccentricity), or -1 for
+// disconnected graphs. The quotient-skeleton literature the paper
+// builds on ([15]) reports diameter preservation, so it belongs in the
+// utility toolbox.
+func Diameter(g *graph.Graph) int {
+	if g.N() == 0 {
+		return 0
+	}
+	max := 0
+	for _, e := range Eccentricities(g) {
+		if e < 0 {
+			return -1
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}

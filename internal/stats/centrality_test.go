@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+)
+
+func TestBetweennessPath(t *testing.T) {
+	// P5: exact betweenness is 0, 3, 4, 3, 0.
+	g := datasets.Path(5)
+	cb := Betweenness(g)
+	want := []float64{0, 3, 4, 3, 0}
+	for v := range want {
+		if math.Abs(cb[v]-want[v]) > 1e-9 {
+			t.Fatalf("betweenness = %v, want %v", cb, want)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star K_{1,4}: center carries every one of the C(4,2)=6 pairs.
+	g := datasets.Star(4)
+	cb := Betweenness(g)
+	if math.Abs(cb[0]-6) > 1e-9 {
+		t.Fatalf("center betweenness = %v, want 6", cb[0])
+	}
+	for v := 1; v <= 4; v++ {
+		if cb[v] != 0 {
+			t.Fatalf("leaf betweenness = %v, want 0", cb[v])
+		}
+	}
+}
+
+func TestBetweennessCycle(t *testing.T) {
+	// Vertex-transitive: all equal. C5: each pair has 1 shortest path
+	// of length ≤ 2; each vertex lies inside exactly 5·(5-3)/2 /5 ...
+	// just check uniformity and positivity.
+	cb := Betweenness(datasets.Cycle(5))
+	for v := 1; v < 5; v++ {
+		if math.Abs(cb[v]-cb[0]) > 1e-9 {
+			t.Fatalf("C5 betweenness not uniform: %v", cb)
+		}
+	}
+	if cb[0] <= 0 {
+		t.Fatalf("C5 betweenness should be positive: %v", cb)
+	}
+}
+
+func TestBetweennessCompleteIsZero(t *testing.T) {
+	// K5: every pair is adjacent; no vertex lies between any pair.
+	for _, c := range Betweenness(datasets.Complete(5)) {
+		if c != 0 {
+			t.Fatal("complete graph betweenness must be 0")
+		}
+	}
+}
+
+func TestBetweennessMultipleShortestPaths(t *testing.T) {
+	// C4: pairs at distance 2 have two shortest paths; each middle
+	// vertex gets credit 1/2 per opposite pair → total 1/2 each.
+	cb := Betweenness(datasets.Cycle(4))
+	for _, c := range cb {
+		if math.Abs(c-0.5) > 1e-9 {
+			t.Fatalf("C4 betweenness = %v, want all 0.5", cb)
+		}
+	}
+}
+
+func TestBetweennessDisconnected(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	cb := Betweenness(g)
+	if cb[1] != 1 || cb[3] != 0 || cb[4] != 0 {
+		t.Fatalf("betweenness = %v", cb)
+	}
+}
+
+func TestPropertyBetweennessNonNegativeAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		g := datasets.ErdosRenyiGM(25, 50, seed)
+		n := float64(g.N())
+		bound := (n - 1) * (n - 2) / 2
+		for _, c := range Betweenness(g) {
+			if c < 0 || c > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBetweennessInvariantUnderRelabel(t *testing.T) {
+	f := func(seed int64) bool {
+		g := datasets.ErdosRenyiGM(15, 30, seed)
+		perm := make([]int, g.N())
+		for i := range perm {
+			perm[i] = (i + 7) % g.N()
+		}
+		h := g.Permute(perm)
+		a := Betweenness(g)
+		b := Betweenness(h)
+		for v := range a {
+			if math.Abs(a[v]-b[perm[v]]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// Star: maximally disassortative (r = -1).
+	if r := DegreeAssortativity(datasets.Star(5)); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("star assortativity = %v, want -1", r)
+	}
+	// Regular graph: degenerate (constant degrees) → defined as 0.
+	if r := DegreeAssortativity(datasets.Cycle(6)); r != 0 {
+		t.Fatalf("C6 assortativity = %v, want 0", r)
+	}
+	// Empty graph.
+	if r := DegreeAssortativity(graph.New(3)); r != 0 {
+		t.Fatalf("empty assortativity = %v, want 0", r)
+	}
+}
+
+func TestDegreeAssortativityRange(t *testing.T) {
+	f := func(seed int64) bool {
+		g := datasets.ErdosRenyiGM(30, 60, seed)
+		r := DegreeAssortativity(g)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEccentricitiesAndDiameter(t *testing.T) {
+	// P5: eccentricities 4,3,2,3,4; diameter 4.
+	g := datasets.Path(5)
+	ecc := Eccentricities(g)
+	want := []int{4, 3, 2, 3, 4}
+	for i := range want {
+		if ecc[i] != want[i] {
+			t.Fatalf("ecc = %v, want %v", ecc, want)
+		}
+	}
+	if d := Diameter(g); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+	if d := Diameter(datasets.Cycle(8)); d != 4 {
+		t.Fatalf("C8 diameter = %d, want 4", d)
+	}
+	if d := Diameter(datasets.Complete(5)); d != 1 {
+		t.Fatalf("K5 diameter = %d, want 1", d)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	if d := Diameter(g); d != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", d)
+	}
+	if d := Diameter(graph.New(0)); d != 0 {
+		t.Fatalf("empty diameter = %d, want 0", d)
+	}
+}

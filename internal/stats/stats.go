@@ -1,0 +1,220 @@
+// Package stats implements the network statistics the paper's utility
+// evaluation (§4.3) measures on original and sampled graphs: degree
+// distribution, shortest-path-length distribution over randomly sampled
+// vertex pairs, clustering-coefficient (transitivity) distribution,
+// resilience under hub removal, and the Kolmogorov-Smirnov statistic
+// used to compare distributions across samples (Figure 9).
+package stats
+
+import (
+	"math/rand"
+	"sort"
+
+	"ksymmetry/internal/graph"
+)
+
+// Sample is an empirical sample of a scalar network statistic, kept
+// sorted for CDF evaluation.
+type Sample struct {
+	values []float64
+}
+
+// NewSample copies and sorts the given values.
+func NewSample(values []float64) Sample {
+	vs := append([]float64(nil), values...)
+	sort.Float64s(vs)
+	return Sample{values: vs}
+}
+
+// Len returns the number of observations.
+func (s Sample) Len() int { return len(s.values) }
+
+// Values returns the sorted observations (owned by the sample).
+func (s Sample) Values() []float64 { return s.values }
+
+// CDF returns the empirical CDF at x: the fraction of observations ≤ x.
+func (s Sample) CDF(x float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(s.values, x)
+	for i < len(s.values) && s.values[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(s.values))
+}
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// KolmogorovSmirnov returns the KS statistic between two samples: the
+// maximum vertical distance between their empirical CDFs. Both samples
+// must be non-empty.
+func KolmogorovSmirnov(a, b Sample) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		panic("stats: KS statistic of empty sample")
+	}
+	max := 0.0
+	// The supremum is attained at an observation point of either sample.
+	for _, x := range a.values {
+		if d := abs(a.CDF(x) - b.CDF(x)); d > max {
+			max = d
+		}
+	}
+	for _, x := range b.values {
+		if d := abs(a.CDF(x) - b.CDF(x)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// AverageKS is the "average K-S statistic value" of Figures 9 and 11:
+// the mean KS distance between the reference sample and each of the
+// compared samples.
+func AverageKS(ref Sample, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += KolmogorovSmirnov(ref, s)
+	}
+	return sum / float64(len(samples))
+}
+
+// DegreeSample returns the degree of every vertex as a sample — the
+// "Degree" panel of Figure 8.
+func DegreeSample(g *graph.Graph) Sample {
+	vs := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		vs[v] = float64(g.Degree(v))
+	}
+	return NewSample(vs)
+}
+
+// DegreeHistogram returns counts by degree, indexed 0..MaxDegree.
+func DegreeHistogram(g *graph.Graph) []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// PathLengthSample returns the shortest-path lengths between `pairs`
+// randomly sampled distinct vertex pairs (§4.3 uses 500). Disconnected
+// pairs are skipped; up to 20·pairs draws are attempted, so the result
+// can be shorter than requested on fragmented graphs.
+func PathLengthSample(g *graph.Graph, pairs int, rng *rand.Rand) Sample {
+	var vs []float64
+	if g.N() >= 2 {
+		for attempts := 0; len(vs) < pairs && attempts < 20*pairs; attempts++ {
+			u := rng.Intn(g.N())
+			v := rng.Intn(g.N())
+			if u == v {
+				continue
+			}
+			if d := g.ShortestPathLength(u, v); d > 0 {
+				vs = append(vs, float64(d))
+			}
+		}
+	}
+	return NewSample(vs)
+}
+
+// ClusteringSample returns the local clustering coefficient of every
+// vertex — the "Transitivity" panel of Figure 8.
+func ClusteringSample(g *graph.Graph) Sample {
+	vs := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		vs[v] = g.LocalClustering(v)
+	}
+	return NewSample(vs)
+}
+
+// GlobalClustering returns the mean local clustering coefficient.
+func GlobalClustering(g *graph.Graph) float64 {
+	return ClusteringSample(g).Mean()
+}
+
+// Resilience returns, for each removal fraction, the fraction of the
+// original vertex count remaining in the largest connected component
+// after deleting the ⌈frac·N⌉ highest-degree vertices (descending
+// initial degree, the Albert-Jeong-Barabási attack of §4.3's
+// "Resiliency" panel).
+func Resilience(g *graph.Graph, fracs []float64) []float64 {
+	order := g.VerticesByDegreeDesc()
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		m := int(float64(g.N())*f + 0.5)
+		if m > g.N() {
+			m = g.N()
+		}
+		removed := make(map[int]bool, m)
+		for _, v := range order[:m] {
+			removed[v] = true
+		}
+		keep := make([]int, 0, g.N()-m)
+		for v := 0; v < g.N(); v++ {
+			if !removed[v] {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == 0 {
+			out[i] = 0
+			continue
+		}
+		sub, _ := g.InducedSubgraph(keep)
+		out[i] = float64(sub.LargestComponentSize()) / float64(g.N())
+	}
+	return out
+}
+
+// Merge pools several samples into one — the cross-sample aggregation
+// used when Figure 8 overlays 20 sampled graphs against the original.
+func Merge(samples []Sample) Sample {
+	var all []float64
+	for _, s := range samples {
+		all = append(all, s.values...)
+	}
+	return NewSample(all)
+}
+
+// Summary holds the Table 1 statistics of a network.
+type Summary struct {
+	Name            string
+	Vertices, Edges int
+	MinDeg, MaxDeg  int
+	MedianDeg       int
+	AvgDeg          float64
+}
+
+// Summarize computes the Table 1 row for a graph.
+func Summarize(name string, g *graph.Graph) Summary {
+	return Summary{
+		Name:      name,
+		Vertices:  g.N(),
+		Edges:     g.M(),
+		MinDeg:    g.MinDegree(),
+		MaxDeg:    g.MaxDegree(),
+		MedianDeg: g.MedianDegree(),
+		AvgDeg:    g.AvgDegree(),
+	}
+}

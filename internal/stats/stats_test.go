@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+)
+
+func TestSampleCDF(t *testing.T) {
+	s := NewSample([]float64{1, 2, 2, 4})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDF(c.x); got != c.want {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSampleMean(t *testing.T) {
+	if got := NewSample([]float64{1, 2, 3}).Mean(); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := NewSample(nil).Mean(); got != 0 {
+		t.Fatalf("empty mean = %v", got)
+	}
+}
+
+func TestKSIdentical(t *testing.T) {
+	a := NewSample([]float64{1, 2, 3, 4})
+	if got := KolmogorovSmirnov(a, a); got != 0 {
+		t.Fatalf("KS(a,a) = %v, want 0", got)
+	}
+}
+
+func TestKSDisjoint(t *testing.T) {
+	a := NewSample([]float64{1, 2})
+	b := NewSample([]float64{10, 20})
+	if got := KolmogorovSmirnov(a, b); got != 1 {
+		t.Fatalf("KS of disjoint supports = %v, want 1", got)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	a := NewSample([]float64{1, 2, 3, 4})
+	b := NewSample([]float64{3, 4, 5, 6})
+	// F_a(2)=0.5, F_b(2)=0 → D = 0.5.
+	if got := KolmogorovSmirnov(a, b); got != 0.5 {
+		t.Fatalf("KS = %v, want 0.5", got)
+	}
+}
+
+func TestKSSymmetricAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Sample {
+			vs := make([]float64, 10+rng.Intn(10))
+			for i := range vs {
+				vs[i] = rng.NormFloat64()
+			}
+			return NewSample(vs)
+		}
+		a, b := mk(), mk()
+		d1, d2 := KolmogorovSmirnov(a, b), KolmogorovSmirnov(b, a)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KS of empty sample did not panic")
+		}
+	}()
+	KolmogorovSmirnov(NewSample(nil), NewSample([]float64{1}))
+}
+
+func TestAverageKS(t *testing.T) {
+	ref := NewSample([]float64{1, 2})
+	same := NewSample([]float64{1, 2})
+	far := NewSample([]float64{10, 20})
+	got := AverageKS(ref, []Sample{same, far})
+	if got != 0.5 {
+		t.Fatalf("average KS = %v, want 0.5", got)
+	}
+	if AverageKS(ref, nil) != 0 {
+		t.Fatal("empty sample list should average to 0")
+	}
+}
+
+func TestDegreeSampleAndHistogram(t *testing.T) {
+	g := datasets.Star(4)
+	s := DegreeSample(g)
+	if s.Len() != 5 || s.Values()[4] != 4 {
+		t.Fatalf("degree sample = %v", s.Values())
+	}
+	h := DegreeHistogram(g)
+	if len(h) != 5 || h[1] != 4 || h[4] != 1 {
+		t.Fatalf("degree histogram = %v", h)
+	}
+}
+
+func TestPathLengthSample(t *testing.T) {
+	g := datasets.Path(10)
+	rng := rand.New(rand.NewSource(42))
+	s := PathLengthSample(g, 200, rng)
+	if s.Len() != 200 {
+		t.Fatalf("sample size = %d, want 200", s.Len())
+	}
+	for _, v := range s.Values() {
+		if v < 1 || v > 9 {
+			t.Fatalf("path length %v out of range [1,9]", v)
+		}
+	}
+}
+
+func TestPathLengthSampleDisconnected(t *testing.T) {
+	// Two isolated vertices: no connected pairs, sample is empty rather
+	// than hanging.
+	g := graph.New(2)
+	s := PathLengthSample(g, 10, rand.New(rand.NewSource(1)))
+	if s.Len() != 0 {
+		t.Fatalf("disconnected sample = %v", s.Values())
+	}
+}
+
+func TestPathLengthSampleTiny(t *testing.T) {
+	if s := PathLengthSample(graph.New(1), 5, rand.New(rand.NewSource(1))); s.Len() != 0 {
+		t.Fatal("single-vertex graph should yield empty sample")
+	}
+}
+
+func TestClusteringSample(t *testing.T) {
+	g := datasets.Complete(4)
+	s := ClusteringSample(g)
+	for _, v := range s.Values() {
+		if v != 1 {
+			t.Fatalf("K4 clustering = %v, want all 1", s.Values())
+		}
+	}
+	if got := GlobalClustering(g); got != 1 {
+		t.Fatalf("global clustering = %v", got)
+	}
+	if got := GlobalClustering(datasets.Cycle(5)); got != 0 {
+		t.Fatalf("C5 clustering = %v, want 0", got)
+	}
+}
+
+func TestResilienceStar(t *testing.T) {
+	// Removing the hub of a star shatters it.
+	g := datasets.Star(9) // 10 vertices
+	r := Resilience(g, []float64{0, 0.1})
+	if r[0] != 1 {
+		t.Fatalf("resilience at 0 = %v, want 1", r[0])
+	}
+	if r[1] != 0.1 {
+		// Largest remaining component is a single vertex: 1/10.
+		t.Fatalf("resilience after hub removal = %v, want 0.1", r[1])
+	}
+}
+
+func TestResilienceMonotoneNonIncreasing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(30)
+		for i := 0; i < 30; i++ {
+			for j := i + 1; j < 30; j++ {
+				if rng.Float64() < 0.1 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		fracs := []float64{0, 0.1, 0.2, 0.3, 0.5, 0.9, 1}
+		r := Resilience(g, fracs)
+		for i := 1; i < len(r); i++ {
+			if r[i] > r[i-1]+1e-12 {
+				return false
+			}
+		}
+		return r[len(r)-1] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	m := Merge([]Sample{NewSample([]float64{3, 1}), NewSample([]float64{2})})
+	want := []float64{1, 2, 3}
+	for i, v := range m.Values() {
+		if v != want[i] {
+			t.Fatalf("merged = %v", m.Values())
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := datasets.Star(4)
+	s := Summarize("star", g)
+	if s.Vertices != 5 || s.Edges != 4 || s.MinDeg != 1 || s.MaxDeg != 4 || s.MedianDeg != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.AvgDeg-1.6) > 1e-12 {
+		t.Fatalf("avg degree = %v, want 1.6", s.AvgDeg)
+	}
+}
