@@ -246,6 +246,64 @@ func BenchmarkBackbone(b *testing.B) {
 	}
 }
 
+// genGraph builds the synthetic benchmark graphs (same parameters as
+// the refinement benchmarks in internal/refine).
+func genGraph(kind string, n int) *graph.Graph {
+	switch kind {
+	case "BA":
+		return datasets.BarabasiAlbert(n, 3, 3, int64(n))
+	case "ER":
+		return datasets.ErdosRenyiGM(n, 3*n, int64(n))
+	default:
+		return datasets.WattsStrogatz(n, 6, 0.1, int64(n))
+	}
+}
+
+// BenchmarkOrbitPartitionGenerated measures the full automorphism
+// search on generator graphs at 10k-30k vertices, where the worklist
+// refiner's incremental IR path carries the slow pairwise searches.
+func BenchmarkOrbitPartitionGenerated(b *testing.B) {
+	for _, n := range []int{10000, 30000} {
+		if n > 10000 && testing.Short() {
+			continue
+		}
+		for _, kind := range []string{"BA", "ER", "WS"} {
+			g := genGraph(kind, n)
+			b.Run(kind+"-"+itoa(n/1000)+"k", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := automorphism.OrbitPartition(g, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBackboneGenerated measures Algorithm 2 on anonymized
+// generator graphs at 10k-30k vertices.
+func BenchmarkBackboneGenerated(b *testing.B) {
+	for _, n := range []int{10000, 30000} {
+		if n > 10000 && testing.Short() {
+			continue
+		}
+		for _, kind := range []string{"BA", "ER", "WS"} {
+			g := genGraph(kind, n)
+			res, err := ksym.Anonymize(g, refine.TotalDegreePartition(g), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(kind+"-"+itoa(n/1000)+"k", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ksym.Backbone(res.Graph, res.Partition)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKDegreeBaseline measures the Liu-Terzi baseline for
 // comparison with BenchmarkAnonymizeScaling.
 func BenchmarkKDegreeBaseline(b *testing.B) {

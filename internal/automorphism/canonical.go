@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ksymmetry/internal/graph"
+	"ksymmetry/internal/refine"
 )
 
 // Canonical labeling: CanonicalForm relabels a graph into a canonical
@@ -48,6 +49,7 @@ func Certificate(g *graph.Graph, maxLeaves int) (string, error) {
 
 type canonSearch struct {
 	g        *graph.Graph
+	ref      *refine.Refiner // reused across the whole search tree
 	budget   int
 	leaves   int
 	bestKey  string
@@ -55,7 +57,12 @@ type canonSearch struct {
 }
 
 func (c *canonSearch) rec(init []int) error {
-	colors := canonicalRefine(c.g, init)
+	if c.ref == nil {
+		c.ref = refine.NewRefiner(c.g)
+	}
+	c.ref.ResetColors(init)
+	c.ref.Run()
+	colors := c.ref.CanonicalColors(nil)
 	n := c.g.N()
 	// Count color multiplicities; find the smallest color with
 	// multiplicity ≥ 2 (an invariant choice, since refinement ids are

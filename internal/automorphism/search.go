@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ksymmetry/internal/graph"
+	"ksymmetry/internal/intkey"
 	"ksymmetry/internal/partition"
 	"ksymmetry/internal/refine"
 )
@@ -61,14 +62,21 @@ func OrbitPartition(g *graph.Graph, opts *Options) (*partition.Partition, []Perm
 	if n == 0 {
 		return partition.FromCellOf(nil), nil, nil
 	}
-	tdp := refine.TotalDegreePartition(g)
-	uf := newUnionFind(n)
-	var gens []Perm
+	// Refine the unit partition once; the fixpoint doubles as 𝒯𝒟𝒱(G)
+	// and as the saved parent state every pairwise search restores
+	// instead of re-refining the whole graph (the IR-tree shortcut).
+	r := refine.NewRefiner(g)
+	r.ResetColors(make([]int, n))
+	r.Run()
+	tdp := r.Partition()
+	base := r.Save()
 	// Base refinement colors, shared across all pairwise searches: the
 	// fast path searches with these; only pairs whose fast search
 	// exceeds its small budget pay for per-pair individualized
 	// refinement.
-	baseColors := canonicalRefine(g, make([]int, n))
+	baseColors := r.CanonicalColors(nil)
+	uf := newUnionFind(n)
+	var gens []Perm
 	// Twin pre-pass: two vertices with identical open neighborhoods
 	// (N(u) = N(v)) or identical closed neighborhoods (N[u] = N[v]) are
 	// swapped by a transposition fixing everything else, which is an
@@ -84,8 +92,9 @@ func OrbitPartition(g *graph.Graph, opts *Options) (*partition.Partition, []Perm
 		gens = append(gens, t)
 		uf.union(u, v)
 	}
-	st := &searchState{g: g, uf: uf, opts: opts, baseColors: baseColors}
+	st := &searchState{g: g, uf: uf, opts: opts, baseColors: baseColors, base: base}
 	st.gens = gens
+	st.pool.Put(r)
 	var work []int
 	for ci, cell := range tdp.Cells() {
 		if len(cell) > 1 {
@@ -130,11 +139,37 @@ type searchState struct {
 	g          *graph.Graph
 	opts       *Options
 	baseColors []int
+	// base is the refined unit-partition fixpoint; per-pair searches
+	// restore it and individualize one vertex instead of refining the
+	// whole graph from scratch. pool recycles Refiners across pairs and
+	// across worker goroutines.
+	base *refine.State
+	pool sync.Pool
 
 	mu   sync.Mutex
 	uf   *unionFind
 	gens []Perm
 	err  error
+}
+
+func (st *searchState) refiner() *refine.Refiner {
+	if r, ok := st.pool.Get().(*refine.Refiner); ok {
+		return r
+	}
+	return refine.NewRefiner(st.g)
+}
+
+// individualizedColors refines base + individualized v and returns the
+// canonical colors — the incremental IR-tree step: only the part of the
+// partition that splitting {v} disturbs is re-refined.
+func (st *searchState) individualizedColors(v int) []int {
+	r := st.refiner()
+	r.Restore(st.base)
+	r.Individualize(v)
+	r.Run()
+	colors := r.CanonicalColors(nil)
+	st.pool.Put(r)
+	return colors
 }
 
 func (st *searchState) sameOrbit(a, b int) bool {
@@ -185,7 +220,7 @@ func (st *searchState) classifyCell(cell []int) {
 				matched = true
 				break
 			}
-			perm, found, err := findMappingFastSlow(st.g, r, v, st.opts.budget(), st.baseColors)
+			perm, found, err := st.findMapping(r, v)
 			if err != nil {
 				st.fail(fmt.Errorf("mapping %d→%d: %w", r, v, err))
 				return
@@ -214,7 +249,7 @@ func twinPairs(g *graph.Graph) [][2]int {
 	closed := map[string]int{}
 	for v := 0; v < g.N(); v++ {
 		nbrs := g.Neighbors(v)
-		key := intsKey(nbrs)
+		key := intkey.Of(nbrs)
 		if u, ok := open[key]; ok {
 			pairs = append(pairs, [2]int{u, v})
 		} else {
@@ -224,7 +259,7 @@ func twinPairs(g *graph.Graph) [][2]int {
 		cn = append(cn, nbrs...)
 		cn = append(cn, v)
 		sort.Ints(cn)
-		ckey := intsKey(cn)
+		ckey := intkey.Of(cn)
 		if u, ok := closed[ckey]; ok {
 			pairs = append(pairs, [2]int{u, v})
 		} else {
@@ -247,40 +282,32 @@ func Generators(g *graph.Graph, opts *Options) ([]Perm, error) {
 // budget-exceeded fast search falls through to the refined one.
 const fastSearchBudget = 1 << 15
 
-// findMappingFastSlow searches with the shared base colors first, then
-// retries with per-pair individualized refinement if the cheap search
-// exceeds its budget.
-func findMappingFastSlow(g *graph.Graph, src, dst int, budget int64, baseColors []int) (Perm, bool, error) {
-	if baseColors[src] != baseColors[dst] {
+// findMapping searches with the shared base colors first, then retries
+// with per-pair individualized refinement if the cheap search exceeds
+// its budget.
+func (st *searchState) findMapping(src, dst int) (Perm, bool, error) {
+	if st.baseColors[src] != st.baseColors[dst] {
 		return nil, false, nil
 	}
+	budget := st.opts.budget()
 	fb := budget
 	if fb > fastSearchBudget {
 		fb = fastSearchBudget
 	}
-	s := &mappingSearch{g: g, ca: baseColors, cb: baseColors, budget: fb}
+	s := &mappingSearch{g: st.g, ca: st.baseColors, cb: st.baseColors, budget: fb}
 	perm, found, err := s.run(src, dst)
 	if err == nil {
 		return perm, found, nil
 	}
-	return findMapping(g, src, dst, budget)
-}
-
-// findMapping searches for an automorphism of g with perm[src] = dst.
-// It individualizes src and dst, refines both colorings to canonical
-// ids, and backtracks over color-respecting assignments.
-func findMapping(g *graph.Graph, src, dst int, budget int64) (Perm, bool, error) {
-	n := g.N()
-	initA := make([]int, n)
-	initB := make([]int, n)
-	initA[src] = 1
-	initB[dst] = 1
-	ca := canonicalRefine(g, initA)
-	cb := canonicalRefine(g, initB)
+	// Slow path: individualize src and dst off the saved base state,
+	// refine incrementally, and backtrack over color-respecting
+	// assignments.
+	ca := st.individualizedColors(src)
+	cb := st.individualizedColors(dst)
 	if ca[src] != cb[dst] || !sameHistogram(ca, cb) {
 		return nil, false, nil
 	}
-	s := &mappingSearch{g: g, ca: ca, cb: cb, budget: budget}
+	s = &mappingSearch{g: st.g, ca: ca, cb: cb, budget: budget}
 	return s.run(src, dst)
 }
 
@@ -453,54 +480,17 @@ func (h *intHeap) pop() int64 {
 	return top
 }
 
-// canonicalRefine iterates 1-WL refinement from the given initial colors
-// (which must be canonical by content) and returns stable colors whose
-// ids are canonical by content, hence comparable across two refinements
-// of the same graph with different individualizations.
+// canonicalRefine refines the given initial colors (which must be
+// canonical by content) to the equitable fixpoint and returns stable
+// colors whose ids are canonical by content, hence comparable across two
+// refinements of the same graph with different individualizations. It is
+// a convenience wrapper over the worklist Refiner for callers without a
+// reusable one.
 func canonicalRefine(g *graph.Graph, init []int) []int {
-	n := g.N()
-	color := append([]int(nil), init...)
-	distinct := func(c []int) int {
-		m := map[int]struct{}{}
-		for _, v := range c {
-			m[v] = struct{}{}
-		}
-		return len(m)
-	}
-	for round := 0; round < n; round++ {
-		sigs := make([]string, n)
-		for v := 0; v < n; v++ {
-			buf := make([]int, 0, g.Degree(v)+1)
-			buf = append(buf, color[v])
-			for _, w := range g.Neighbors(v) {
-				buf = append(buf, color[w])
-			}
-			sort.Ints(buf[1:])
-			sigs[v] = intsKey(buf)
-		}
-		rank := map[string]int{}
-		for _, s := range sigs {
-			rank[s] = 0
-		}
-		keys := make([]string, 0, len(rank))
-		for s := range rank {
-			keys = append(keys, s)
-		}
-		sort.Strings(keys)
-		for i, s := range keys {
-			rank[s] = i
-		}
-		next := make([]int, n)
-		for v := 0; v < n; v++ {
-			next[v] = rank[sigs[v]]
-		}
-		stable := distinct(next) == distinct(color)
-		color = next
-		if stable {
-			break
-		}
-	}
-	return color
+	r := refine.NewRefiner(g)
+	r.ResetColors(init)
+	r.Run()
+	return r.CanonicalColors(nil)
 }
 
 func sameHistogram(a, b []int) bool {
@@ -517,14 +507,6 @@ func sameHistogram(a, b []int) bool {
 		}
 	}
 	return true
-}
-
-func intsKey(s []int) string {
-	b := make([]byte, 0, 4*len(s))
-	for _, v := range s {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 // EnumerateAll exhaustively enumerates every automorphism of g (including

@@ -1,6 +1,10 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+
+	"ksymmetry/internal/intkey"
+)
 
 // Isomorphism testing (needed by the backbone-detection Algorithm 2 of
 // §4.2.2, and by tests of Lemma 3's order-independence). The search is a
@@ -156,7 +160,7 @@ func iterDegreeColors(g *Graph) []int {
 				ns = append(ns, color[w])
 			}
 			sort.Ints(ns[1:])
-			sigs[v] = intsKey(ns)
+			sigs[v] = intkey.Of(ns)
 		}
 		distinct := map[string]int{}
 		for _, s := range sigs {
@@ -208,14 +212,6 @@ func countDistinct(c []int) int {
 		m[v] = struct{}{}
 	}
 	return len(m)
-}
-
-func intsKey(s []int) string {
-	b := make([]byte, 0, 4*len(s))
-	for _, v := range s {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 func sameColorHistogram(a, b []int) bool {

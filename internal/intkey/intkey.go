@@ -1,0 +1,40 @@
+// Package intkey provides the canonical byte-string encoding of integer
+// slices used as map keys throughout the pipeline (neighbor signatures,
+// external-edge signatures, refinement profiles). Centralizing the
+// encoding keeps every signature-keyed structure collision-free and
+// mutually comparable, and replaces the slower fmt.Sprint-style keys.
+package intkey
+
+// Of returns a string key that is equal for two slices iff the slices
+// are element-wise equal. Values are encoded as 4 little-endian bytes,
+// which covers every vertex id, count, and color the pipeline produces
+// (all bounded by the vertex count).
+func Of(s []int) string {
+	return string(Append(make([]byte, 0, 4*len(s)), s))
+}
+
+// Append appends the encoding of s to dst and returns the extended
+// buffer, for callers that key many slices and want to reuse storage.
+func Append(dst []byte, s []int) []byte {
+	for _, v := range s {
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// Join concatenates pre-encoded keys with length prefixes, so that the
+// result is equal for two key lists iff the lists are element-wise
+// equal (plain concatenation would conflate ["ab","c"] with ["a","bc"]).
+func Join(keys []string) string {
+	total := 0
+	for _, k := range keys {
+		total += 4 + len(k)
+	}
+	b := make([]byte, 0, total)
+	for _, k := range keys {
+		n := len(k)
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		b = append(b, k...)
+	}
+	return string(b)
+}

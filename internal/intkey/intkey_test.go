@@ -1,0 +1,52 @@
+package intkey
+
+import "testing"
+
+func TestOfDistinguishes(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{0},
+		{1},
+		{0, 0},
+		{0, 1},
+		{1, 0},
+		{256},
+		{1, 256},
+		{1 << 20, 3},
+		{-1},
+	}
+	seen := map[string][]int{}
+	for _, c := range cases {
+		k := Of(c)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between %v and %v", prev, c)
+		}
+		seen[k] = c
+	}
+}
+
+func TestOfEqualForEqualSlices(t *testing.T) {
+	a := []int{3, 1, 4, 1, 5}
+	b := []int{3, 1, 4, 1, 5}
+	if Of(a) != Of(b) {
+		t.Fatal("equal slices must produce equal keys")
+	}
+}
+
+func TestAppendMatchesOf(t *testing.T) {
+	s := []int{7, 0, 1 << 16}
+	if string(Append(nil, s)) != Of(s) {
+		t.Fatal("Append and Of disagree")
+	}
+}
+
+func TestJoinUnambiguous(t *testing.T) {
+	a := Join([]string{"ab", "c"})
+	b := Join([]string{"a", "bc"})
+	if a == b {
+		t.Fatal("Join must length-prefix its parts")
+	}
+	if Join([]string{"ab", "c"}) != a {
+		t.Fatal("Join must be deterministic")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ksymmetry/internal/graph"
+	"ksymmetry/internal/intkey"
 	"ksymmetry/internal/partition"
 )
 
@@ -85,7 +86,7 @@ func maxClassMultiplicity(g *graph.Graph, p *partition.Partition, cell []int) in
 				ext = append(ext, u)
 			}
 		}
-		extSig[v] = fmt.Sprint(ext)
+		extSig[v] = intkey.Of(ext)
 	}
 	type comp struct {
 		sub  *graph.Graph
@@ -161,7 +162,7 @@ func backbonePass(g *graph.Graph, cellOf []int) map[int]bool {
 					ext = append(ext, u)
 				}
 			}
-			extSig[v] = fmt.Sprint(ext)
+			extSig[v] = intkey.Of(ext)
 		}
 		type comp struct {
 			sub    *graph.Graph
@@ -177,7 +178,7 @@ func backbonePass(g *graph.Graph, cellOf []int) map[int]bool {
 				sigs[i] = extSig[orig[i]]
 			}
 			sort.Strings(sigs)
-			return comp{sub: cg, orig: orig, sigBag: fmt.Sprint(sigs)}
+			return comp{sub: cg, orig: orig, sigBag: intkey.Join(sigs)}
 		}
 		var kept []comp
 		for _, c := range comps {

@@ -75,6 +75,14 @@ func DegreeThresholdTarget(g *graph.Graph, k, delta int) Target {
 // parameter of Figures 10 and 11.
 func TopFractionTarget(g *graph.Graph, k int, frac float64) Target {
 	m := int(float64(g.N())*frac + 0.5)
+	// Clamp to [0, N]: frac > 1 (or a rounding overshoot) would slice
+	// past the degree-ordered vertex list, and frac < 0 would panic.
+	if m < 0 {
+		m = 0
+	}
+	if m > g.N() {
+		m = g.N()
+	}
 	excluded := make(map[int]bool, m)
 	for _, v := range g.VerticesByDegreeDesc()[:m] {
 		excluded[v] = true

@@ -298,6 +298,33 @@ func TestTopFractionTarget(t *testing.T) {
 	}
 }
 
+func TestTopFractionTargetClamp(t *testing.T) {
+	g := datasets.Star(9) // 10 vertices: hub 0 (degree 9), leaves 1..9
+	hub := []int{0}
+	leaves := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	cases := []struct {
+		frac                string
+		f                   float64
+		wantHub, wantLeaves int
+	}{
+		{"0", 0, 3, 3},       // nothing excluded: both cells protected
+		{"0.1", 0.1, 1, 3},   // only the hub excluded
+		{"0.5", 0.5, 1, 1},   // hub + 4 leaves: both cells touched
+		{"1.0", 1.0, 1, 1},   // everything excluded
+		{"1.1", 1.1, 1, 1},   // m must clamp to N instead of slicing past it
+		{"-0.5", -0.5, 3, 3}, // m must clamp to 0
+	}
+	for _, tc := range cases {
+		target := TopFractionTarget(g, 3, tc.f)
+		if got := target(hub); got != tc.wantHub {
+			t.Errorf("frac=%s: hub target = %d, want %d", tc.frac, got, tc.wantHub)
+		}
+		if got := target(leaves); got != tc.wantLeaves {
+			t.Errorf("frac=%s: leaf target = %d, want %d", tc.frac, got, tc.wantLeaves)
+		}
+	}
+}
+
 func TestExclusionReducesCost(t *testing.T) {
 	// The §5.2 claim, on a hub-heavy graph: excluding hubs cuts cost.
 	g := graph.New(30)

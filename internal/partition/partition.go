@@ -80,6 +80,42 @@ func FromCellOf(cellOf []int) *Partition {
 	return &Partition{cells: cells, cellOf: canon}
 }
 
+// FromCellOfDense is FromCellOf for the common case of dense cell ids
+// 0..numCells-1: it renumbers canonically (cells ordered by smallest
+// member) without the map and per-cell sorts of the general path, which
+// matters on the refinement hot path. Ids outside [0, numCells) panic.
+func FromCellOfDense(cellOf []int, numCells int) *Partition {
+	sizes := make([]int, numCells)
+	remap := make([]int, numCells)
+	for i := range remap {
+		remap[i] = -1
+	}
+	// Scanning vertices in ascending order keeps every cell sorted and
+	// orders cells by smallest member, matching FromCellOf.
+	order := make([]int, 0, numCells)
+	for _, c := range cellOf {
+		if remap[c] == -1 {
+			remap[c] = len(order)
+			order = append(order, c)
+		}
+		sizes[c]++
+	}
+	buf := make([]int, len(cellOf)) // one backing array for all cells
+	cells := make([][]int, len(order))
+	off := 0
+	for ci, c := range order {
+		cells[ci] = buf[off : off : off+sizes[c]]
+		off += sizes[c]
+	}
+	canon := make([]int, len(cellOf))
+	for v, c := range cellOf {
+		ci := remap[c]
+		cells[ci] = append(cells[ci], v)
+		canon[v] = ci
+	}
+	return &Partition{cells: cells, cellOf: canon}
+}
+
 // Unit returns the single-cell partition {{0..n-1}} (for n > 0).
 func Unit(n int) *Partition {
 	cell := make([]int, n)

@@ -1,0 +1,77 @@
+package refine
+
+import (
+	"testing"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
+)
+
+// benchGraphs returns the ER/BA/WS generator sweep the refinement kernel
+// is tuned against (ISSUE 1 / BENCH_refine.json). The 100k entries are
+// skipped in -short mode so the CI smoke run stays fast.
+func benchGraphs(b *testing.B, sizes []int) map[string]*graph.Graph {
+	b.Helper()
+	gs := map[string]*graph.Graph{}
+	for _, n := range sizes {
+		if testing.Short() && n > 10000 {
+			continue
+		}
+		name := sizeTag(n)
+		gs["ER-"+name] = datasets.ErdosRenyiGM(n, 3*n, int64(n))
+		gs["BA-"+name] = datasets.BarabasiAlbert(n, 3, 3, int64(n))
+		gs["WS-"+name] = datasets.WattsStrogatz(n, 6, 0.1, int64(n))
+	}
+	return gs
+}
+
+func sizeTag(n int) string {
+	if n%1000 == 0 {
+		return itoa(n/1000) + "k"
+	}
+	return itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// benchOrder fixes the subtest order (map iteration is random).
+func benchOrder(sizes []int) []string {
+	var names []string
+	for _, n := range sizes {
+		for _, fam := range []string{"BA", "ER", "WS"} {
+			names = append(names, fam+"-"+sizeTag(n))
+		}
+	}
+	return names
+}
+
+// BenchmarkEquitable measures full equitable refinement from the unit
+// partition (the 𝒯𝒟𝒱(G) hot path of the §7 large-graph recipe).
+func BenchmarkEquitable(b *testing.B) {
+	sizes := []int{10000, 30000, 100000}
+	gs := benchGraphs(b, sizes)
+	for _, name := range benchOrder(sizes) {
+		g, ok := gs[name]
+		if !ok {
+			continue
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TotalDegreePartition(g)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package refine
+
+import (
+	"testing"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+)
+
+// FuzzEquitable decodes an edge list from raw bytes and checks the
+// worklist kernel against the naive reference on the resulting graph.
+func FuzzEquitable(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x30})             // C4
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04})             // star
+	f.Add([]byte{0x01, 0x12, 0x20, 0x34, 0x45, 0x53}) // two triangles
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		// Each byte encodes an edge between two vertices in [0,16).
+		g := graph.New(16)
+		for _, b := range data {
+			u, v := int(b>>4), int(b&0x0f)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		got := TotalDegreePartition(g)
+		want := naiveEquitable(g, partition.Unit(g.N()))
+		if !got.Equal(want) {
+			t.Fatalf("worklist %v != naive %v", got, want)
+		}
+		if !IsEquitable(g, got) {
+			t.Fatalf("result not equitable: %v", got)
+		}
+	})
+}

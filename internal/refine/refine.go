@@ -8,13 +8,13 @@
 // Refinement is also the workhorse inside the individualization-
 // refinement automorphism search (package automorphism): Orb(G) is
 // always finer than any equitable partition, so refined cells bound the
-// search.
+// search. Both entry points run on the worklist kernel in refiner.go;
+// the search additionally uses the incremental Refiner API directly.
 package refine
 
 import (
-	"sort"
-
 	"ksymmetry/internal/graph"
+	"ksymmetry/internal/intkey"
 	"ksymmetry/internal/partition"
 )
 
@@ -26,40 +26,10 @@ func Equitable(g *graph.Graph, initial *partition.Partition) *partition.Partitio
 	if initial.N() != g.N() {
 		panic("refine: partition size does not match graph")
 	}
-	n := g.N()
-	color := make([]int, n)
-	for v := 0; v < n; v++ {
-		color[v] = initial.CellIndexOf(v)
-	}
-	numColors := initial.NumCells()
-	// Refine until the number of classes stops growing. Each effective
-	// round strictly increases the class count, so at most n rounds.
-	buf := make([]int, 0, 16)
-	for {
-		id := map[string]int{}
-		next := make([]int, n)
-		for v := 0; v < n; v++ {
-			buf = buf[:0]
-			buf = append(buf, color[v])
-			for _, w := range g.Neighbors(v) {
-				buf = append(buf, color[w])
-			}
-			sort.Ints(buf[1:])
-			s := intsKey(buf)
-			c, ok := id[s]
-			if !ok {
-				c = len(id)
-				id[s] = c
-			}
-			next[v] = c
-		}
-		if len(id) == numColors {
-			break
-		}
-		numColors = len(id)
-		copy(color, next)
-	}
-	return partition.FromCellOf(color)
+	r := NewRefiner(g)
+	r.Reset(initial)
+	r.Run()
+	return r.Partition()
 }
 
 // TotalDegreePartition returns 𝒯𝒟𝒱(G): the coarsest equitable partition
@@ -75,9 +45,11 @@ func TotalDegreePartition(g *graph.Graph) *partition.Partition {
 // DegreePartition groups vertices by degree — the starting point of the
 // k-degree anonymity baseline and the first refinement step.
 func DegreePartition(g *graph.Graph) *partition.Partition {
-	return partition.BySignature(g.N(), func(v int) string {
-		return intsKey([]int{g.Degree(v)})
-	})
+	degs := make([]int, g.N())
+	for v := range degs {
+		degs[v] = g.Degree(v)
+	}
+	return partition.FromCellOf(degs)
 }
 
 // IsEquitable reports whether p is equitable with respect to g.
@@ -101,13 +73,5 @@ func cellProfile(g *graph.Graph, p *partition.Partition, v int) string {
 	for _, w := range g.Neighbors(v) {
 		counts[p.CellIndexOf(w)]++
 	}
-	return intsKey(counts)
-}
-
-func intsKey(s []int) string {
-	b := make([]byte, 0, 4*len(s))
-	for _, v := range s {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
+	return intkey.Of(counts)
 }

@@ -2,12 +2,61 @@ package refine
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
+	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/partition"
 )
+
+// naiveEquitable is the seed implementation of Equitable, retained as
+// the test-only reference for the worklist kernel: rebuild a string-
+// keyed signature map over every vertex every round until the number of
+// classes stops growing.
+func naiveEquitable(g *graph.Graph, initial *partition.Partition) *partition.Partition {
+	n := g.N()
+	color := make([]int, n)
+	for v := 0; v < n; v++ {
+		color[v] = initial.CellIndexOf(v)
+	}
+	numColors := initial.NumCells()
+	buf := make([]int, 0, 16)
+	for {
+		id := map[string]int{}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			buf = buf[:0]
+			buf = append(buf, color[v])
+			for _, w := range g.Neighbors(v) {
+				buf = append(buf, color[w])
+			}
+			sort.Ints(buf[1:])
+			s := naiveKey(buf)
+			c, ok := id[s]
+			if !ok {
+				c = len(id)
+				id[s] = c
+			}
+			next[v] = c
+		}
+		if len(id) == numColors {
+			break
+		}
+		numColors = len(id)
+		copy(color, next)
+	}
+	return partition.FromCellOf(color)
+}
+
+func naiveKey(s []int) string {
+	b := make([]byte, 0, 4*len(s))
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
 
 func cycle(n int) *graph.Graph {
 	g := graph.New(n)
@@ -159,6 +208,123 @@ func TestPropertyEquitableIdempotent(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPropertyWorklistMatchesNaive checks the worklist kernel against
+// the retained naive reference, partition for partition, on 200 random
+// ER and BA graphs — both from the unit partition and from a random
+// individualized initial partition.
+func TestPropertyWorklistMatchesNaive(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		seed := int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		var kind string
+		if i%2 == 0 {
+			n := 20 + rng.Intn(60)
+			g = datasets.ErdosRenyiGM(n, n+rng.Intn(2*n), seed)
+			kind = "ER"
+		} else {
+			n := 20 + rng.Intn(60)
+			g = datasets.BarabasiAlbert(n, 3, 2+rng.Intn(2), seed)
+			kind = "BA"
+		}
+		got := TotalDegreePartition(g)
+		want := naiveEquitable(g, partition.Unit(g.N()))
+		if !got.Equal(want) {
+			t.Fatalf("%s seed %d: worklist TDP %v != naive %v", kind, seed, got, want)
+		}
+		if !IsEquitable(g, got) {
+			t.Fatalf("%s seed %d: worklist TDP not equitable", kind, seed)
+		}
+		// Individualized initial partition: {v} split off the unit cell.
+		v := rng.Intn(g.N())
+		init := partition.FromCellOf(singletonColors(g.N(), v))
+		got = Equitable(g, init)
+		want = naiveEquitable(g, init)
+		if !got.Equal(want) {
+			t.Fatalf("%s seed %d: individualized(%d) worklist %v != naive %v", kind, seed, v, got, want)
+		}
+	}
+}
+
+func singletonColors(n, v int) []int {
+	colors := make([]int, n)
+	colors[v] = 1
+	return colors
+}
+
+// TestRefinerIncrementalMatchesFromScratch checks the IR-tree workflow:
+// refining from a saved parent state after Individualize must equal a
+// from-scratch refinement of the individualized initial partition.
+func TestRefinerIncrementalMatchesFromScratch(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := datasets.ErdosRenyiGM(40, 80, seed)
+		r := NewRefiner(g)
+		r.ResetColors(make([]int, g.N()))
+		r.Run()
+		base := r.Save()
+		if !r.Partition().Equal(TotalDegreePartition(g)) {
+			t.Fatalf("seed %d: base state != TDP", seed)
+		}
+		for v := 0; v < g.N(); v += 7 {
+			r.Restore(base)
+			r.Individualize(v)
+			r.Run()
+			got := r.Partition()
+			want := naiveEquitable(g, partition.FromCellOf(singletonColors(g.N(), v)))
+			if !got.Equal(want) {
+				t.Fatalf("seed %d: incremental refine at %d = %v, want %v", seed, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalColorsInvariant checks that CanonicalColors assigns
+// corresponding colors across a relabeling: refining g and its permuted
+// copy with corresponding individualizations must color corresponding
+// vertices identically.
+func TestCanonicalColorsInvariant(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := datasets.ErdosRenyiGM(30, 60, seed)
+		perm := rand.New(rand.NewSource(seed + 1000)).Perm(g.N())
+		h := g.Permute(perm)
+		rg := NewRefiner(g)
+		rh := NewRefiner(h)
+		for v := 0; v < g.N(); v += 5 {
+			rg.ResetColors(singletonColors(g.N(), v))
+			rg.Run()
+			cg := rg.CanonicalColors(nil)
+			rh.ResetColors(singletonColors(h.N(), perm[v]))
+			rh.Run()
+			ch := rh.CanonicalColors(nil)
+			for u := 0; u < g.N(); u++ {
+				if cg[u] != ch[perm[u]] {
+					t.Fatalf("seed %d, indiv %d: color(%d)=%d but permuted color=%d",
+						seed, v, u, cg[u], ch[perm[u]])
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalColorsSeparateCells checks that every cell receives its
+// own color (the quotient iteration must fully separate final cells).
+func TestCanonicalColorsSeparateCells(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g := datasets.BarabasiAlbert(50, 3, 2, seed)
+		r := NewRefiner(g)
+		r.ResetColors(singletonColors(g.N(), int(seed)%g.N()))
+		r.Run()
+		colors := r.CanonicalColors(nil)
+		distinct := map[int]bool{}
+		for _, c := range colors {
+			distinct[c] = true
+		}
+		if len(distinct) != r.NumCells() {
+			t.Fatalf("seed %d: %d colors for %d cells", seed, len(distinct), r.NumCells())
+		}
 	}
 }
 

@@ -62,6 +62,9 @@ func (o *Options) validate(g *graph.Graph, p *partition.Partition) ([]float64, e
 	if o == nil || o.Rng == nil {
 		return nil, fmt.Errorf("sampling: Options.Rng is required")
 	}
+	if p.NumCells() == 0 {
+		return nil, fmt.Errorf("sampling: partition has no cells")
+	}
 	probs := o.Probabilities
 	if probs == nil {
 		probs = InverseDegreeProbabilities(g, p)
@@ -190,16 +193,31 @@ func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options)
 		s[i]++
 		budget--
 	}
-	// Algorithm 4, lines 7-12 and Algorithm 5: quota-guided DFS.
+	// Algorithm 4, lines 7-12 and Algorithm 5: quota-guided DFS. The
+	// walk keeps its own frame stack (vertex + neighbor cursor) instead
+	// of recursing, so path-like graphs cannot overflow the goroutine
+	// stack; the visit order is exactly the recursive one — descend into
+	// a selected neighbor immediately, resume the parent's neighbor scan
+	// afterwards.
 	visited := make([]bool, gp.N())
 	selected := make([]bool, gp.N())
 	remaining := n
-	var dfs func(v int)
-	dfs = func(v int) {
-		for _, u := range gp.Neighbors(v) {
+	type frame struct{ v, i int }
+	var stack []frame
+	dfs := func(root int) {
+		stack = append(stack[:0], frame{v: root})
+		for len(stack) > 0 {
 			if remaining < 1 {
 				return
 			}
+			f := &stack[len(stack)-1]
+			nbrs := gp.Neighbors(f.v)
+			if f.i == len(nbrs) {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			u := nbrs[f.i]
+			f.i++
 			if visited[u] {
 				continue
 			}
@@ -208,7 +226,7 @@ func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options)
 				selected[u] = true
 				s[t]--
 				remaining--
-				dfs(u)
+				stack = append(stack, frame{v: u})
 			}
 		}
 	}

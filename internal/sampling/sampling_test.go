@@ -168,6 +168,38 @@ func TestApproximateErrors(t *testing.T) {
 	}
 }
 
+func TestApproximateDeepPath(t *testing.T) {
+	// A 100k-vertex path forces the DFS to its full depth; the explicit
+	// frame stack must absorb it (the recursive walk risked exhausting
+	// the goroutine stack on exactly this shape).
+	const n = 100_000
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	s, err := Approximate(g, partition.Unit(n), n, opts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != n {
+		t.Fatalf("deep-path sample has %d vertices, want %d", s.N(), n)
+	}
+	if s.M() != n-1 {
+		t.Fatalf("deep-path sample has %d edges, want %d", s.M(), n-1)
+	}
+}
+
+func TestValidateRejectsEmptyPartition(t *testing.T) {
+	g := graph.New(0)
+	empty := partition.MustFromCells(0, nil)
+	if _, err := Exact(g, empty, 1, opts(1)); err == nil {
+		t.Fatal("Exact must reject a partition with no cells")
+	}
+	if _, err := Approximate(g, empty, 0, opts(1)); err == nil {
+		t.Fatal("Approximate must reject a partition with no cells")
+	}
+}
+
 func TestApproximateConnectedOnConnectedInput(t *testing.T) {
 	// Fig. 3's anonymized graph is connected; DFS sampling from it
 	// should usually produce a connected subgraph. With restarts the
