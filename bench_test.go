@@ -33,7 +33,9 @@ func env(b *testing.B) *experiments.Env {
 	envOnce.Do(func() {
 		benchEnv = experiments.NewEnv(datasets.DefaultSeed)
 		for _, name := range benchEnv.Names() {
-			benchEnv.Orbits(name)
+			if _, err := benchEnv.Orbits(name); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	return benchEnv
@@ -165,7 +167,10 @@ func itoa(n int) string {
 // network (the paper's §7 discussion of Orb(G) computation cost).
 func BenchmarkOrbitComputation(b *testing.B) {
 	for _, name := range datasets.NetworkNames() {
-		g := experiments.NewEnv(datasets.DefaultSeed).Graph(name)
+		g, err := experiments.NewEnv(datasets.DefaultSeed).Graph(name)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := automorphism.OrbitPartition(g, nil); err != nil {
@@ -201,7 +206,10 @@ func BenchmarkOrbitPruning(b *testing.B) {
 // fallback) on each network.
 func BenchmarkRefinement(b *testing.B) {
 	for _, name := range datasets.NetworkNames() {
-		g := experiments.NewEnv(datasets.DefaultSeed).Graph(name)
+		g, err := experiments.NewEnv(datasets.DefaultSeed).Graph(name)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				refine.TotalDegreePartition(g)
@@ -214,8 +222,11 @@ func BenchmarkRefinement(b *testing.B) {
 // against the isomorphism-testing exact sampler (§4.2.3's motivation).
 func BenchmarkSamplers(b *testing.B) {
 	e := env(b)
-	g := e.Graph("Enron")
-	res, err := ksym.Anonymize(g, e.Orbits("Enron"), 5)
+	g, orb, err := benchGraphOrbits(b, e, "Enron")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ksym.Anonymize(g, orb, 5)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -235,8 +246,11 @@ func BenchmarkSamplers(b *testing.B) {
 // BenchmarkBackbone measures Algorithm 2 on the anonymized Enron graph.
 func BenchmarkBackbone(b *testing.B) {
 	e := env(b)
-	g := e.Graph("Enron")
-	res, err := ksym.Anonymize(g, e.Orbits("Enron"), 5)
+	g, orb, err := benchGraphOrbits(b, e, "Enron")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ksym.Anonymize(g, orb, 5)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -244,6 +258,21 @@ func BenchmarkBackbone(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ksym.Backbone(res.Graph, res.Partition)
 	}
+}
+
+// benchGraphOrbits fetches a network and its partition, failing the
+// benchmark on error.
+func benchGraphOrbits(b *testing.B, e *experiments.Env, name string) (*graph.Graph, *partition.Partition, error) {
+	b.Helper()
+	g, err := e.Graph(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	orb, err := e.Orbits(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, orb, nil
 }
 
 // genGraph builds the synthetic benchmark graphs (same parameters as

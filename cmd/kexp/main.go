@@ -7,12 +7,16 @@
 //	kexp -exp all            # every experiment (minutes)
 //	kexp -exp fig10          # one experiment
 //	kexp -exp fig8 -quick    # reduced sample counts (seconds)
+//	kexp -exp all -orbit-timeout 100ms   # degrade slow orbits to 𝒯𝒟𝒱
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"ksymmetry/internal/datasets"
@@ -21,13 +25,20 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|fig10|fig11|minimal|samplers|attack|extended|all")
-		seed  = flag.Int64("seed", datasets.DefaultSeed, "dataset/sampler seed")
-		quick = flag.Bool("quick", false, "reduced sample counts for a fast pass")
+		exp          = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|fig10|fig11|minimal|samplers|attack|extended|all")
+		seed         = flag.Int64("seed", datasets.DefaultSeed, "dataset/sampler seed")
+		quick        = flag.Bool("quick", false, "reduced sample counts for a fast pass")
+		orbitTimeout = flag.Duration("orbit-timeout", 0, "cap per-network orbit computation; a slow network degrades to 𝒯𝒟𝒱(G) instead of stalling the sweep (0 = none)")
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the sweep between (and inside) experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	e := experiments.NewEnv(*seed)
+	e.Ctx = ctx
+	e.OrbitTimeout = *orbitTimeout
 	w := os.Stdout
 
 	// Paper-scale parameters, reduced under -quick.
@@ -42,18 +53,21 @@ func main() {
 
 	runners := []struct {
 		name string
-		run  func()
+		run  func() error
 	}{
-		{"table1", func() { experiments.Table1(w, e) }},
-		{"fig2", func() { experiments.Figure2(w, e) }},
-		{"fig8", func() { experiments.Figure8(w, e, 5, fig8Samples, pathPairs) }},
-		{"fig9", func() { experiments.Figure9(w, e, ks, fig9Max, pathPairs, fig9Counts) }},
-		{"fig10", func() { experiments.Figure10(w, e, ks, fracs) }},
-		{"fig11", func() { experiments.Figure11(w, e, ks, fracs, fig11Samples, pathPairs) }},
-		{"minimal", func() { experiments.MinimalAnonymization(w, e, 5, []string{"Enron", "Hepth"}) }},
-		{"samplers", func() { experiments.SamplerComparison(w, e, 5, fig8Samples, pathPairs) }},
-		{"attack", func() { experiments.BaselineAttack(w, e, 5) }},
-		{"extended", func() { experiments.ExtendedUtility(w, e, 5, fig8Samples) }},
+		{"table1", func() error { _, err := experiments.Table1(w, e); return err }},
+		{"fig2", func() error { _, err := experiments.Figure2(w, e); return err }},
+		{"fig8", func() error { _, err := experiments.Figure8(w, e, 5, fig8Samples, pathPairs); return err }},
+		{"fig9", func() error { _, err := experiments.Figure9(w, e, ks, fig9Max, pathPairs, fig9Counts); return err }},
+		{"fig10", func() error { _, err := experiments.Figure10(w, e, ks, fracs); return err }},
+		{"fig11", func() error { _, err := experiments.Figure11(w, e, ks, fracs, fig11Samples, pathPairs); return err }},
+		{"minimal", func() error {
+			_, err := experiments.MinimalAnonymization(w, e, 5, []string{"Enron", "Hepth"})
+			return err
+		}},
+		{"samplers", func() error { _, err := experiments.SamplerComparison(w, e, 5, fig8Samples, pathPairs); return err }},
+		{"attack", func() error { _, err := experiments.BaselineAttack(w, e, 5); return err }},
+		{"extended", func() error { _, err := experiments.ExtendedUtility(w, e, 5, fig8Samples); return err }},
 	}
 
 	found := false
@@ -63,11 +77,26 @@ func main() {
 		}
 		found = true
 		start := time.Now()
-		r.run()
+		if err := r.run(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "kexp: %s interrupted after %v\n", r.name, time.Since(start).Round(time.Millisecond))
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "kexp: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "kexp: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	// Report which ladder rung each network's partition came from, so a
+	// degraded sweep is visible in the output.
+	for _, name := range e.Names() {
+		if mode := e.OrbitMode(name); mode != "" {
+			fmt.Fprintf(os.Stderr, "partition %-10s %s\n", name, mode)
+		}
 	}
 }

@@ -4,25 +4,35 @@
 // anonymized graph together with its sub-automorphism partition — the
 // two artifacts the publisher releases (§4.3).
 //
+// The run goes through the deadline-aware pipeline: -timeout bounds the
+// whole load → partition → anonymize → publish flow, the partition
+// stage degrades exact Orb(G) → budgeted search → 𝒯𝒟𝒱(G) when its
+// budget or deadline runs out, and an interrupt (Ctrl-C) cancels the
+// run gracefully with a partial-progress report.
+//
 // Usage:
 //
 //	ksym -in g.edges -k 5 -out g_anon.edges -partition g_anon.cells
 //	ksym -demo fig3 -k 3              # run on a built-in example graph
 //	ksym -in g.edges -k 10 -exclude-hubs 0.05   # f-symmetry (§5.2)
 //	ksym -in g.edges -k 5 -minimal              # backbone rebuild (§5.1)
+//	ksym -demo hepth -k 5 -timeout 1s           # bounded wall time
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
-	"ksymmetry/internal/automorphism"
 	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/pipeline"
 	"ksymmetry/internal/publish"
-	"ksymmetry/internal/refine"
 )
 
 func main() {
@@ -36,60 +46,99 @@ func main() {
 		excludeHubs = flag.Float64("exclude-hubs", 0, "exclude this fraction of highest-degree vertices from protection (§5.2)")
 		minimal     = flag.Bool("minimal", false, "rebuild from the backbone to minimize added vertices (§5.1)")
 		useTDP      = flag.Bool("tdp", false, "use the total degree partition instead of exact Orb(G) (the paper's large-graph fallback, §7)")
+		timeout     = flag.Duration("timeout", 0, "bound the whole run; the partition stage degrades down the ladder rather than blowing it (0 = none)")
 		seed        = flag.Int64("seed", datasets.DefaultSeed, "seed for built-in graph generation")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*in, *demo, *seed)
-	if err != nil {
-		fatal(err)
-	}
+	// Ctrl-C cancels the pipeline instead of killing the process, so a
+	// long run still reports how far it got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	orb := refine.TotalDegreePartition(g)
-	if !*useTDP {
-		exact, _, err := automorphism.OrbitPartition(g, nil)
-		if err != nil {
-			fatal(fmt.Errorf("orbit search exceeded budget (%w); rerun with -tdp", err))
+	cfg := pipeline.Config{
+		Source:  func(context.Context) (*graph.Graph, error) { return loadGraph(*in, *demo, *seed) },
+		K:       *k,
+		Minimal: *minimal,
+		Timeout: *timeout,
+		Sink: func(_ context.Context, res *pipeline.Result) error {
+			return writeOutputs(res.Anonymized, *out, *partOut, *release)
+		},
+	}
+	if *useTDP {
+		cfg.StartMode = pipeline.ModeTDV
+	}
+	if *excludeHubs > 0 {
+		res, err := runWithHubTarget(ctx, cfg, *excludeHubs, *k)
+		report(res, err)
+		return
+	}
+	res, err := pipeline.Run(ctx, cfg)
+	report(res, err)
+}
+
+// runWithHubTarget pre-loads the graph before starting the pipeline:
+// the §5.2 hub-exclusion target depends on the loaded graph's degree
+// order, so it cannot be built until the input exists.
+func runWithHubTarget(ctx context.Context, cfg pipeline.Config, frac float64, k int) (*pipeline.Result, error) {
+	g, err := cfg.Source(ctx)
+	if err != nil {
+		return &pipeline.Result{}, fmt.Errorf("load: %w", err)
+	}
+	cfg.Source = nil
+	cfg.Graph = g
+	cfg.Target = ksym.TopFractionTarget(g, k, frac)
+	return pipeline.Run(ctx, cfg)
+}
+
+// report prints the run summary (or the partial-progress report of a
+// failed run) and exits with the matching status.
+func report(res *pipeline.Result, err error) {
+	for _, d := range res.Downgrades {
+		fmt.Fprintln(os.Stderr, "ksym:", d)
+	}
+	if res.PartitionMode != "" {
+		fmt.Fprintf(os.Stderr, "partition mode: %s (%s)\n", res.PartitionMode, res.PartitionMode.Guarantee())
+	}
+	for _, st := range res.Stages {
+		fmt.Fprintf(os.Stderr, "stage %-10s %v\n", st.Stage, st.Duration.Round(time.Microsecond))
+	}
+	if err != nil {
+		var se *pipeline.StageError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "ksym: failed in stage %q after completing %d stage(s)\n", se.Stage, len(res.Stages)-1)
 		}
-		orb = exact
+		fmt.Fprintln(os.Stderr, "ksym:", err)
+		os.Exit(1)
 	}
-
-	var res *ksym.Result
-	switch {
-	case *minimal && *excludeHubs > 0:
-		res, err = ksym.MinimalAnonymizeF(g, orb, ksym.TopFractionTarget(g, *k, *excludeHubs))
-	case *minimal:
-		res, err = ksym.MinimalAnonymize(g, orb, *k)
-	case *excludeHubs > 0:
-		res, err = ksym.AnonymizeF(g, orb, ksym.TopFractionTarget(g, *k, *excludeHubs))
-	default:
-		res, err = ksym.Anonymize(g, orb, *k)
-	}
-	if err != nil {
-		fatal(err)
-	}
-
+	a := res.Anonymized
 	fmt.Fprintf(os.Stderr, "anonymized: %d→%d vertices (+%d), %d→%d edges (+%d), %d copy operations\n",
-		res.OriginalN, res.Graph.N(), res.VerticesAdded(),
-		res.OriginalM, res.Graph.M(), res.EdgesAdded(), res.CopyOps)
+		a.OriginalN, a.Graph.N(), a.VerticesAdded(),
+		a.OriginalM, a.Graph.M(), a.EdgesAdded(), a.CopyOps)
+}
 
-	if *out == "" {
+// writeOutputs is the publish stage: the anonymized graph to -out (or
+// stdout), the partition to -partition, the bundled release to
+// -release.
+func writeOutputs(res *ksym.Result, out, partOut, release string) error {
+	if out == "" {
 		if err := res.Graph.Write(os.Stdout); err != nil {
-			fatal(err)
+			return err
 		}
-	} else if err := res.Graph.WriteFile(*out); err != nil {
-		fatal(err)
+	} else if err := res.Graph.WriteFile(out); err != nil {
+		return err
 	}
-	if *partOut != "" {
-		if err := res.Partition.WriteFile(*partOut); err != nil {
-			fatal(err)
-		}
-	}
-	if *release != "" {
-		if err := publish.FromResult(res).WriteFile(*release); err != nil {
-			fatal(err)
+	if partOut != "" {
+		if err := res.Partition.WriteFile(partOut); err != nil {
+			return err
 		}
 	}
+	if release != "" {
+		if err := publish.FromResult(res).WriteFile(release); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func loadGraph(in, demo string, seed int64) (*graph.Graph, error) {
@@ -113,9 +162,4 @@ func loadGraph(in, demo string, seed int64) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("one of -in or -demo is required")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ksym:", err)
-	os.Exit(1)
 }

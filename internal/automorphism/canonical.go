@@ -1,6 +1,7 @@
 package automorphism
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,14 @@ var ErrCanonicalBudget = fmt.Errorf("automorphism: canonical-form leaf budget ex
 // the certificate of g's isomorphism class. maxLeaves ≤ 0 selects
 // DefaultMaxLeaves.
 func CanonicalForm(g *graph.Graph, maxLeaves int) (Perm, string, error) {
+	return CanonicalFormCtx(context.Background(), g, maxLeaves)
+}
+
+// CanonicalFormCtx is CanonicalForm under a context: the search polls
+// ctx.Err() once per tree node (each node performs a full incremental
+// refinement, so the poll is amortized noise) and returns the context's
+// error as soon as it fires.
+func CanonicalFormCtx(ctx context.Context, g *graph.Graph, maxLeaves int) (Perm, string, error) {
 	if maxLeaves <= 0 {
 		maxLeaves = DefaultMaxLeaves
 	}
@@ -34,7 +43,7 @@ func CanonicalForm(g *graph.Graph, maxLeaves int) (Perm, string, error) {
 	if n == 0 {
 		return Perm{}, "0|0|", nil
 	}
-	c := &canonSearch{g: g, budget: maxLeaves}
+	c := &canonSearch{ctx: ctx, g: g, budget: maxLeaves}
 	if err := c.rec(make([]int, n)); err != nil {
 		return nil, "", err
 	}
@@ -47,7 +56,14 @@ func Certificate(g *graph.Graph, maxLeaves int) (string, error) {
 	return cert, err
 }
 
+// CertificateCtx is Certificate under a context.
+func CertificateCtx(ctx context.Context, g *graph.Graph, maxLeaves int) (string, error) {
+	_, cert, err := CanonicalFormCtx(ctx, g, maxLeaves)
+	return cert, err
+}
+
 type canonSearch struct {
+	ctx      context.Context
 	g        *graph.Graph
 	ref      *refine.Refiner // reused across the whole search tree
 	budget   int
@@ -57,11 +73,16 @@ type canonSearch struct {
 }
 
 func (c *canonSearch) rec(init []int) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
 	if c.ref == nil {
 		c.ref = refine.NewRefiner(c.g)
 	}
 	c.ref.ResetColors(init)
-	c.ref.Run()
+	if err := c.ref.RunCtx(c.ctx); err != nil {
+		return err
+	}
 	colors := c.ref.CanonicalColors(nil)
 	n := c.g.N()
 	// Count color multiplicities; find the smallest color with

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"ksymmetry/internal/automorphism"
@@ -86,3 +87,42 @@ func NewSamplingOptions(seed int64) *SamplingOptions {
 // IsKSymmetric reports whether a graph with automorphism partition orb
 // satisfies k-symmetry anonymity (Definition 1).
 func IsKSymmetric(orb *Partition, k int) bool { return ksym.IsKSymmetric(orb, k) }
+
+// Context-aware variants. Each is the same computation as its
+// like-named sibling, observing ctx cancellation and deadlines at
+// amortized poll points (see DESIGN.md §6.1).
+
+// OrbitPartitionCtx is OrbitPartition under a context.
+func OrbitPartitionCtx(ctx context.Context, g *Graph, opts *automorphism.Options) (*Partition, []automorphism.Perm, error) {
+	return automorphism.OrbitPartitionCtx(ctx, g, opts)
+}
+
+// AnonymizeCtx is Anonymize under a context.
+func AnonymizeCtx(ctx context.Context, g *Graph, orb *Partition, k int) (*Result, error) {
+	return ksym.AnonymizeCtx(ctx, g, orb, k)
+}
+
+// AnonymizeFCtx is AnonymizeF under a context.
+func AnonymizeFCtx(ctx context.Context, g *Graph, orb *Partition, target Target) (*Result, error) {
+	return ksym.AnonymizeFCtx(ctx, g, orb, target)
+}
+
+// MinimalAnonymizeCtx is MinimalAnonymize under a context.
+func MinimalAnonymizeCtx(ctx context.Context, g *Graph, orb *Partition, k int) (*Result, error) {
+	return ksym.MinimalAnonymizeCtx(ctx, g, orb, k)
+}
+
+// BackboneCtx is Backbone under a context.
+func BackboneCtx(ctx context.Context, g *Graph, p *Partition) (*BackboneResult, error) {
+	return ksym.BackboneCtx(ctx, g, p)
+}
+
+// SampleExactCtx is SampleExact under a context.
+func SampleExactCtx(ctx context.Context, gp *Graph, vp *Partition, n int, opts *SamplingOptions) (*Graph, error) {
+	return sampling.ExactCtx(ctx, gp, vp, n, opts)
+}
+
+// SampleApproximateCtx is SampleApproximate under a context.
+func SampleApproximateCtx(ctx context.Context, gp *Graph, vp *Partition, n int, opts *SamplingOptions) (*Graph, error) {
+	return sampling.ApproximateCtx(ctx, gp, vp, n, opts)
+}

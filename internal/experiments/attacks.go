@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"ksymmetry/internal/baseline"
@@ -12,17 +13,21 @@ import (
 
 // Table1 prints and returns the dataset statistics table (paper
 // Table 1).
-func Table1(w io.Writer, e *Env) []stats.Summary {
+func Table1(w io.Writer, e *Env) ([]stats.Summary, error) {
 	fprintf(w, "Table 1: statistics of networks used\n")
 	fprintf(w, "%-10s %9s %9s %8s %8s %8s %8s\n", "Network", "Vertices", "Edges", "MinDeg", "MaxDeg", "MedDeg", "AvgDeg")
 	var out []stats.Summary
 	for _, name := range e.Names() {
-		s := stats.Summarize(name, e.Graph(name))
+		g, err := e.Graph(name)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Summarize(name, g)
 		out = append(out, s)
 		fprintf(w, "%-10s %9d %9d %8d %8d %8d %8.2f\n",
 			s.Name, s.Vertices, s.Edges, s.MinDeg, s.MaxDeg, s.MedianDeg, s.AvgDeg)
 	}
-	return out
+	return out, nil
 }
 
 // Fig2Row is one bar of Figure 2: the re-identification power of a
@@ -35,7 +40,7 @@ type Fig2Row struct {
 
 // Figure2 prints and returns the r_f and s_f statistics for the degree,
 // triangle, and combined measures on every network (paper Figure 2).
-func Figure2(w io.Writer, e *Env) []Fig2Row {
+func Figure2(w io.Writer, e *Env) ([]Fig2Row, error) {
 	measures := []knowledge.Measure{
 		knowledge.Degree{},
 		knowledge.Triangles{},
@@ -45,15 +50,17 @@ func Figure2(w io.Writer, e *Env) []Fig2Row {
 	fprintf(w, "%-10s %-16s %8s %8s\n", "Network", "Measure", "r_f", "s_f")
 	var out []Fig2Row
 	for _, name := range e.Names() {
-		g := e.Graph(name)
-		orb := e.Orbits(name)
+		g, orb, err := e.graphAndOrbits(name)
+		if err != nil {
+			return nil, err
+		}
 		for _, m := range measures {
 			ev := knowledge.EvaluateMeasure(g, m, orb)
 			out = append(out, Fig2Row{Network: name, Measure: m.Name(), RF: ev.RF, SF: ev.SF})
 			fprintf(w, "%-10s %-16s %8.3f %8.3f\n", name, m.Name(), ev.RF, ev.SF)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // AttackRow is one row of the baseline-attack extension experiment: the
@@ -71,19 +78,21 @@ type AttackRow struct {
 // perturbation, k-degree anonymity, and k-symmetry on the Enron
 // network (§6 extension experiment: the combined measure defeats
 // everything but k-symmetry).
-func BaselineAttack(w io.Writer, e *Env, k int) []AttackRow {
-	g := e.Graph("Enron")
-	orb := e.Orbits("Enron")
+func BaselineAttack(w io.Writer, e *Env, k int) ([]AttackRow, error) {
+	g, orb, err := e.graphAndOrbits("Enron")
+	if err != nil {
+		return nil, err
+	}
 
 	naive, _ := baseline.Naive(g, e.Seed)
 	perturbed := baseline.RandomPerturbation(g, g.M()/10, e.Seed)
 	kdeg, err := baseline.KDegree(g, k, e.Seed)
 	if err != nil {
-		panic("experiments: k-degree baseline failed: " + err.Error())
+		return nil, fmt.Errorf("experiments: k-degree baseline failed: %w", err)
 	}
 	ksymRes, err := ksym.Anonymize(g, orb, k)
 	if err != nil {
-		panic("experiments: k-symmetry failed: " + err.Error())
+		return nil, fmt.Errorf("experiments: k-symmetry failed: %w", err)
 	}
 
 	schemes := []struct {
@@ -110,5 +119,5 @@ func BaselineAttack(w io.Writer, e *Env, k int) []AttackRow {
 			fprintf(w, "%-12s %-16s %10.3f %8d %8d\n", s.name, m.Name(), rate, s.vAdded, s.eAdded)
 		}
 	}
-	return out
+	return out, nil
 }

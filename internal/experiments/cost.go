@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -22,9 +23,11 @@ type Fig10Row struct {
 // Figure10 prints and returns the anonymization cost sweep over the
 // fraction of hubs excluded from protection, for each k (paper
 // Figure 10, Net-trace).
-func Figure10(w io.Writer, e *Env, ks []int, fracs []float64) []Fig10Row {
-	g := e.Graph("Net-trace")
-	orb := e.Orbits("Net-trace")
+func Figure10(w io.Writer, e *Env, ks []int, fracs []float64) ([]Fig10Row, error) {
+	g, orb, err := e.graphAndOrbits("Net-trace")
+	if err != nil {
+		return nil, err
+	}
 	fprintf(w, "Figure 10: anonymization cost vs fraction of hubs excluded (Net-trace)\n")
 	fprintf(w, "%4s %10s %12s %12s\n", "k", "excluded", "+vertices", "+edges")
 	var out []Fig10Row
@@ -32,14 +35,14 @@ func Figure10(w io.Writer, e *Env, ks []int, fracs []float64) []Fig10Row {
 		for _, f := range fracs {
 			res, err := ksym.AnonymizeF(g, orb, ksym.TopFractionTarget(g, k, f))
 			if err != nil {
-				panic("experiments: figure 10: " + err.Error())
+				return nil, fmt.Errorf("experiments: figure 10: %w", err)
 			}
 			row := Fig10Row{K: k, FractionExcl: f, VerticesAdded: res.VerticesAdded(), EdgesAdded: res.EdgesAdded()}
 			out = append(out, row)
 			fprintf(w, "%4d %10.2f %12d %12d\n", k, f, row.VerticesAdded, row.EdgesAdded)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig11Row is one point of the Figure 11 utility curves: average KS
@@ -55,9 +58,11 @@ type Fig11Row struct {
 // average KS statistic (degree and path-length) over `samples` sampled
 // graphs, as the excluded hub fraction grows (paper Figure 11,
 // Net-trace).
-func Figure11(w io.Writer, e *Env, ks []int, fracs []float64, samples, pathPairs int) []Fig11Row {
-	g := e.Graph("Net-trace")
-	orb := e.Orbits("Net-trace")
+func Figure11(w io.Writer, e *Env, ks []int, fracs []float64, samples, pathPairs int) ([]Fig11Row, error) {
+	g, orb, err := e.graphAndOrbits("Net-trace")
+	if err != nil {
+		return nil, err
+	}
 	fprintf(w, "Figure 11: utility when excluding hubs (Net-trace, %d samples)\n", samples)
 	fprintf(w, "%4s %10s %12s %12s\n", "k", "excluded", "avgKS(deg)", "avgKS(path)")
 	var out []Fig11Row
@@ -65,7 +70,7 @@ func Figure11(w io.Writer, e *Env, ks []int, fracs []float64, samples, pathPairs
 		for _, f := range fracs {
 			res, err := ksym.AnonymizeF(g, orb, ksym.TopFractionTarget(g, k, f))
 			if err != nil {
-				panic("experiments: figure 11: " + err.Error())
+				return nil, fmt.Errorf("experiments: figure 11: %w", err)
 			}
 			rng := rand.New(rand.NewSource(e.Seed + 606))
 			origDeg := stats.DegreeSample(g)
@@ -74,7 +79,7 @@ func Figure11(w io.Writer, e *Env, ks []int, fracs []float64, samples, pathPairs
 			for i := 0; i < samples; i++ {
 				s, err := sampling.Approximate(res.Graph, res.Partition, g.N(), &sampling.Options{Rng: rng})
 				if err != nil {
-					panic("experiments: figure 11 sampling: " + err.Error())
+					return nil, fmt.Errorf("experiments: figure 11 sampling: %w", err)
 				}
 				degS = append(degS, stats.DegreeSample(s))
 				pathS = append(pathS, stats.PathLengthSample(s, pathPairs, rng))
@@ -88,7 +93,7 @@ func Figure11(w io.Writer, e *Env, ks []int, fracs []float64, samples, pathPairs
 			fprintf(w, "%4d %10.2f %12.3f %12.3f\n", k, f, row.KSDegree, row.KSPathLength)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // MinRow compares plain Algorithm 1 against backbone-minimal
@@ -104,20 +109,22 @@ type MinRow struct {
 
 // MinimalAnonymization prints and returns the §5.1 comparison: vertices
 // and edges added by Algorithm 1 versus the backbone-rebuild strategy.
-func MinimalAnonymization(w io.Writer, e *Env, k int, networks []string) []MinRow {
+func MinimalAnonymization(w io.Writer, e *Env, k int, networks []string) ([]MinRow, error) {
 	fprintf(w, "§5.1: plain vs backbone-minimal anonymization (k=%d)\n", k)
 	fprintf(w, "%-10s %10s %10s %10s %10s\n", "Network", "+V plain", "+E plain", "+V min", "+E min")
 	var out []MinRow
 	for _, name := range networks {
-		g := e.Graph(name)
-		orb := e.Orbits(name)
+		g, orb, err := e.graphAndOrbits(name)
+		if err != nil {
+			return nil, err
+		}
 		plain, err := ksym.Anonymize(g, orb, k)
 		if err != nil {
-			panic("experiments: minimal: " + err.Error())
+			return nil, fmt.Errorf("experiments: minimal: %w", err)
 		}
 		min, err := ksym.MinimalAnonymize(g, orb, k)
 		if err != nil {
-			panic("experiments: minimal: " + err.Error())
+			return nil, fmt.Errorf("experiments: minimal: %w", err)
 		}
 		row := MinRow{
 			Network: name, K: k,
@@ -127,5 +134,5 @@ func MinimalAnonymization(w io.Writer, e *Env, k int, networks []string) []MinRo
 		out = append(out, row)
 		fprintf(w, "%-10s %10d %10d %10d %10d\n", name, row.PlainVertices, row.PlainEdges, row.MinVertices, row.MinEdges)
 	}
-	return out
+	return out, nil
 }

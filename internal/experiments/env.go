@@ -5,14 +5,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
-	"ksymmetry/internal/automorphism"
 	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/partition"
+	"ksymmetry/internal/pipeline"
 )
 
 // Env caches the evaluation networks and their (expensive) automorphism
@@ -20,10 +22,19 @@ import (
 type Env struct {
 	// Seed drives dataset generation and every sampler.
 	Seed int64
+	// Ctx, when non-nil, bounds every orbit computation (and lets a
+	// sweep be cancelled between networks). nil means Background.
+	Ctx context.Context
+	// OrbitTimeout, when positive, caps each network's orbit
+	// computation. A network that blows the cap degrades down the
+	// partition ladder (budgeted search, then 𝒯𝒟𝒱) instead of stalling
+	// the whole sweep; OrbitMode reports what each network actually got.
+	OrbitTimeout time.Duration
 
 	mu     sync.Mutex
 	graphs map[string]*graph.Graph
 	orbits map[string]*partition.Partition
+	modes  map[string]pipeline.PartitionMode
 }
 
 // NewEnv returns an environment seeded for reproducible runs.
@@ -32,18 +43,27 @@ func NewEnv(seed int64) *Env {
 		Seed:   seed,
 		graphs: map[string]*graph.Graph{},
 		orbits: map[string]*partition.Partition{},
+		modes:  map[string]pipeline.PartitionMode{},
 	}
 }
 
 // Names returns the evaluation networks in the paper's order.
 func (e *Env) Names() []string { return datasets.NetworkNames() }
 
-// Graph returns (and caches) the named calibrated network.
-func (e *Env) Graph(name string) *graph.Graph {
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
+// Graph returns (and caches) the named calibrated network, or an error
+// for a name outside datasets.NetworkNames().
+func (e *Env) Graph(name string) (*graph.Graph, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if g, ok := e.graphs[name]; ok {
-		return g
+		return g, nil
 	}
 	var g *graph.Graph
 	switch name {
@@ -54,27 +74,62 @@ func (e *Env) Graph(name string) *graph.Graph {
 	case "Net-trace":
 		g = datasets.NetTrace(e.Seed)
 	default:
-		panic(fmt.Sprintf("experiments: unknown network %q", name))
+		return nil, fmt.Errorf("experiments: unknown network %q", name)
 	}
 	e.graphs[name] = g
-	return g
+	return g, nil
 }
 
-// Orbits returns (and caches) the exact automorphism partition of the
-// named network.
-func (e *Env) Orbits(name string) *partition.Partition {
-	g := e.Graph(name)
+// Orbits returns (and caches) the automorphism partition of the named
+// network, computed through the pipeline's degradation ladder: exact
+// Orb(G) first, then a budgeted best-effort search, then 𝒯𝒟𝒱(G) when
+// the environment's timeout (or the search budget) runs out. OrbitMode
+// reports which rung the cached partition came from.
+func (e *Env) Orbits(name string) (*partition.Partition, error) {
+	g, err := e.Graph(name)
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if p, ok := e.orbits[name]; ok {
-		return p
+		return p, nil
 	}
-	p, _, err := automorphism.OrbitPartition(g, nil)
+	ctx := e.ctx()
+	if e.OrbitTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.OrbitTimeout)
+		defer cancel()
+	}
+	p, mode, _, err := pipeline.PartitionLadder(ctx, g, pipeline.Config{})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: orbit computation on %s: %v", name, err))
+		return nil, fmt.Errorf("experiments: orbit computation on %s: %w", name, err)
 	}
 	e.orbits[name] = p
-	return p
+	e.modes[name] = mode
+	return p, nil
+}
+
+// graphAndOrbits fetches a network together with its partition — the
+// shape every runner needs.
+func (e *Env) graphAndOrbits(name string) (*graph.Graph, *partition.Partition, error) {
+	g, err := e.Graph(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	orb, err := e.Orbits(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, orb, nil
+}
+
+// OrbitMode reports which ladder rung produced the cached partition of
+// the named network ("" before Orbits has run for it).
+func (e *Env) OrbitMode(name string) pipeline.PartitionMode {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.modes[name]
 }
 
 func fprintf(w io.Writer, format string, args ...any) {

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/pipeline"
 )
 
 // The test environment is shared so the orbit partitions are computed
@@ -14,7 +16,10 @@ var testEnv = NewEnv(datasets.DefaultSeed)
 
 func TestTable1(t *testing.T) {
 	var buf bytes.Buffer
-	rows := Table1(&buf, testEnv)
+	rows, err := Table1(&buf, testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(rows))
 	}
@@ -27,7 +32,10 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	rows := Figure2(nil, testEnv)
+	rows, err := Figure2(nil, testEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 9 {
 		t.Fatalf("rows = %d, want 3 networks × 3 measures", len(rows))
 	}
@@ -54,7 +62,10 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure8Quick(t *testing.T) {
-	rows := Figure8(nil, testEnv, 5, 3, 100)
+	rows, err := Figure8(nil, testEnv, 5, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -79,7 +90,10 @@ func TestFigure8Quick(t *testing.T) {
 }
 
 func TestFigure9Convergence(t *testing.T) {
-	rows := Figure9(nil, testEnv, []int{5}, 10, 100, []int{1, 5, 10})
+	rows, err := Figure9(nil, testEnv, []int{5}, 10, 100, []int{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 9 { // 3 networks × 3 counts
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -91,7 +105,10 @@ func TestFigure9Convergence(t *testing.T) {
 }
 
 func TestFigure10CostDecreasesWithExclusion(t *testing.T) {
-	rows := Figure10(nil, testEnv, []int{5, 10}, []float64{0, 0.01, 0.05})
+	rows, err := Figure10(nil, testEnv, []int{5, 10}, []float64{0, 0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -120,7 +137,10 @@ func TestFigure10CostDecreasesWithExclusion(t *testing.T) {
 }
 
 func TestFigure11UtilityImprovesWithExclusion(t *testing.T) {
-	rows := Figure11(nil, testEnv, []int{10}, []float64{0, 0.05}, 5, 100)
+	rows, err := Figure11(nil, testEnv, []int{10}, []float64{0, 0.05}, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -130,7 +150,10 @@ func TestFigure11UtilityImprovesWithExclusion(t *testing.T) {
 }
 
 func TestMinimalAnonymizationNeverWorse(t *testing.T) {
-	rows := MinimalAnonymization(nil, testEnv, 5, []string{"Enron"})
+	rows, err := MinimalAnonymization(nil, testEnv, 5, []string{"Enron"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if r.MinVertices > r.PlainVertices {
 			t.Errorf("%s: minimal added more vertices (%d > %d)", r.Network, r.MinVertices, r.PlainVertices)
@@ -139,7 +162,10 @@ func TestMinimalAnonymizationNeverWorse(t *testing.T) {
 }
 
 func TestSamplerComparison(t *testing.T) {
-	rows := SamplerComparison(nil, testEnv, 5, 5, 100)
+	rows, err := SamplerComparison(nil, testEnv, 5, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -162,7 +188,10 @@ func TestSamplerComparison(t *testing.T) {
 }
 
 func TestBaselineAttackShape(t *testing.T) {
-	rows := BaselineAttack(nil, testEnv, 5)
+	rows, err := BaselineAttack(nil, testEnv, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	byKey := map[string]AttackRow{}
 	for _, r := range rows {
 		byKey[r.Scheme+"/"+r.Measure] = r
@@ -184,17 +213,46 @@ func TestBaselineAttackShape(t *testing.T) {
 	}
 }
 
-func TestEnvUnknownNetworkPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown network did not panic")
-		}
-	}()
-	testEnv.Graph("nope")
+func TestEnvUnknownNetworkError(t *testing.T) {
+	if _, err := testEnv.Graph("nope"); err == nil {
+		t.Fatal("unknown network did not return an error")
+	}
+	if _, err := testEnv.Orbits("nope"); err == nil {
+		t.Fatal("Orbits on unknown network did not return an error")
+	}
+}
+
+func TestEnvOrbitModeRecorded(t *testing.T) {
+	if _, err := testEnv.Orbits("Enron"); err != nil {
+		t.Fatal(err)
+	}
+	if mode := testEnv.OrbitMode("Enron"); mode != pipeline.ModeExact {
+		t.Fatalf("OrbitMode(Enron) = %q, want %q", mode, pipeline.ModeExact)
+	}
+}
+
+func TestEnvOrbitTimeoutDegradesToTDV(t *testing.T) {
+	// A deadline too tight for any orbit search must step down the
+	// ladder to 𝒯𝒟𝒱(G) instead of failing the sweep.
+	e := NewEnv(datasets.DefaultSeed)
+	e.OrbitTimeout = 1 * time.Nanosecond
+	p, err := e.Orbits("Enron")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.N() == 0 {
+		t.Fatal("degraded partition is empty")
+	}
+	if mode := e.OrbitMode("Enron"); mode != pipeline.ModeTDV {
+		t.Fatalf("OrbitMode = %q, want %q", mode, pipeline.ModeTDV)
+	}
 }
 
 func TestExtendedUtility(t *testing.T) {
-	rows := ExtendedUtility(nil, testEnv, 5, 3)
+	rows, err := ExtendedUtility(nil, testEnv, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}

@@ -23,14 +23,19 @@ type ExtRow struct {
 // assortativity — statistics the paper does not test, strengthening
 // (or bounding) its utility claim. Betweenness is O(V·E) per graph, so
 // the experiment runs on Enron and Hepth.
-func ExtendedUtility(w io.Writer, e *Env, k, samples int) []ExtRow {
+func ExtendedUtility(w io.Writer, e *Env, k, samples int) ([]ExtRow, error) {
 	fprintf(w, "Extended utility: betweenness and assortativity recovery (k=%d, %d samples)\n", k, samples)
 	fprintf(w, "%-10s %12s %14s %14s\n", "Network", "KS(betw)", "assort orig", "assort sampled")
 	var out []ExtRow
 	for _, name := range []string{"Enron", "Hepth"} {
-		g := e.Graph(name)
-		orb := e.Orbits(name)
-		sampleGraphs, _ := drawSamples(g, orb, k, samples, e.Seed+707)
+		g, orb, err := e.graphAndOrbits(name)
+		if err != nil {
+			return nil, err
+		}
+		sampleGraphs, _, err := drawSamples(g, orb, k, samples, e.Seed+707)
+		if err != nil {
+			return nil, err
+		}
 		origB := stats.BetweennessSample(g)
 		var bs []stats.Sample
 		assort := 0.0
@@ -47,5 +52,5 @@ func ExtendedUtility(w io.Writer, e *Env, k, samples int) []ExtRow {
 		out = append(out, row)
 		fprintf(w, "%-10s %12.3f %14.3f %14.3f\n", name, row.KSBetweenness, row.AssortativityOrig, row.AssortativitySamp)
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -38,36 +39,41 @@ type Fig8Row struct {
 
 // drawSamples anonymizes (g, orb) with k and draws count approximate
 // backbone samples of size |V(g)|.
-func drawSamples(g *graph.Graph, orb *partition.Partition, k, count int, seed int64) ([]*graph.Graph, *ksym.Result) {
+func drawSamples(g *graph.Graph, orb *partition.Partition, k, count int, seed int64) ([]*graph.Graph, *ksym.Result, error) {
 	res, err := ksym.Anonymize(g, orb, k)
 	if err != nil {
-		panic("experiments: anonymize: " + err.Error())
+		return nil, nil, fmt.Errorf("experiments: anonymize: %w", err)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]*graph.Graph, count)
 	for i := range out {
 		s, err := sampling.Approximate(res.Graph, res.Partition, g.N(), &sampling.Options{Rng: rng})
 		if err != nil {
-			panic("experiments: sampling: " + err.Error())
+			return nil, nil, fmt.Errorf("experiments: sampling: %w", err)
 		}
 		out[i] = s
 	}
-	return out, res
+	return out, res, nil
 }
 
 // Figure8 prints and returns the utility-preservation comparison (paper
 // Figure 8): per network, the original graph versus the aggregate of
 // `samples` approximate-backbone samples at the given k, across degree,
 // path-length, transitivity, and resilience.
-func Figure8(w io.Writer, e *Env, k, samples, pathPairs int) []Fig8Row {
+func Figure8(w io.Writer, e *Env, k, samples, pathPairs int) ([]Fig8Row, error) {
 	fprintf(w, "Figure 8: utility preservation (k=%d, %d samples, %d path pairs)\n", k, samples, pathPairs)
 	fprintf(w, "%-10s %10s %10s %10s %10s | %s\n",
 		"Network", "KS(deg)", "KS(path)", "KS(clust)", "maxΔresil", "mean deg orig→sample, mean path orig→sample")
 	var out []Fig8Row
 	for _, name := range e.Names() {
-		g := e.Graph(name)
-		orb := e.Orbits(name)
-		sampleGraphs, _ := drawSamples(g, orb, k, samples, e.Seed+101)
+		g, orb, err := e.graphAndOrbits(name)
+		if err != nil {
+			return nil, err
+		}
+		sampleGraphs, _, err := drawSamples(g, orb, k, samples, e.Seed+101)
+		if err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(e.Seed + 202))
 
 		origDeg := stats.DegreeSample(g)
@@ -118,7 +124,7 @@ func Figure8(w io.Writer, e *Env, k, samples, pathPairs int) []Fig8Row {
 		}
 		fprintf(w, "\n")
 	}
-	return out
+	return out, nil
 }
 
 func absf(x float64) float64 {
@@ -142,14 +148,19 @@ type Fig9Row struct {
 // statistic (degree and path-length distributions) as the number of
 // sampled graphs grows from 1 to maxSamples, for each k (paper
 // Figure 9).
-func Figure9(w io.Writer, e *Env, ks []int, maxSamples, pathPairs int, counts []int) []Fig9Row {
+func Figure9(w io.Writer, e *Env, ks []int, maxSamples, pathPairs int, counts []int) ([]Fig9Row, error) {
 	fprintf(w, "Figure 9: convergence of average KS statistic with sample count\n")
 	var out []Fig9Row
 	for _, k := range ks {
 		for _, name := range e.Names() {
-			g := e.Graph(name)
-			orb := e.Orbits(name)
-			sampleGraphs, _ := drawSamples(g, orb, k, maxSamples, e.Seed+303)
+			g, orb, err := e.graphAndOrbits(name)
+			if err != nil {
+				return nil, err
+			}
+			sampleGraphs, _, err := drawSamples(g, orb, k, maxSamples, e.Seed+303)
+			if err != nil {
+				return nil, err
+			}
 			rng := rand.New(rand.NewSource(e.Seed + 404))
 			origDeg := stats.DegreeSample(g)
 			origPath := stats.PathLengthSample(g, pathPairs, rng)
@@ -179,7 +190,7 @@ func Figure9(w io.Writer, e *Env, ks []int, maxSamples, pathPairs int, counts []
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CompareRow is one configuration of the sampler-comparison experiment
@@ -195,13 +206,15 @@ type CompareRow struct {
 
 // SamplerComparison prints and returns KS distances for the exact and
 // approximate samplers under both weight schemes on the Enron network.
-func SamplerComparison(w io.Writer, e *Env, k, samples, pathPairs int) []CompareRow {
+func SamplerComparison(w io.Writer, e *Env, k, samples, pathPairs int) ([]CompareRow, error) {
 	name := "Enron"
-	g := e.Graph(name)
-	orb := e.Orbits(name)
+	g, orb, err := e.graphAndOrbits(name)
+	if err != nil {
+		return nil, err
+	}
 	res, err := ksym.Anonymize(g, orb, k)
 	if err != nil {
-		panic("experiments: anonymize: " + err.Error())
+		return nil, fmt.Errorf("experiments: anonymize: %w", err)
 	}
 	rng := rand.New(rand.NewSource(e.Seed + 505))
 	origDeg := stats.DegreeSample(g)
@@ -236,7 +249,7 @@ func SamplerComparison(w io.Writer, e *Env, k, samples, pathPairs int) []Compare
 				s, err = sampling.Approximate(res.Graph, res.Partition, g.N(), o)
 			}
 			if err != nil {
-				panic("experiments: sampler comparison: " + err.Error())
+				return nil, fmt.Errorf("experiments: sampler comparison: %w", err)
 			}
 			degS = append(degS, stats.DegreeSample(s))
 			pathS = append(pathS, stats.PathLengthSample(s, pathPairs, rng))
@@ -249,5 +262,5 @@ func SamplerComparison(w io.Writer, e *Env, k, samples, pathPairs int) []Compare
 		out = append(out, row)
 		fprintf(w, "%-12s %-16s %10.3f %10.3f\n", row.Sampler, row.Weights, row.KSDegree, row.KSPathLength)
 	}
-	return out
+	return out, nil
 }

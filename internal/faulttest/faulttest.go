@@ -1,0 +1,62 @@
+// Package faulttest holds shared helpers for the fault-injection test
+// suites: asserting that a cancelled computation returns its context's
+// error promptly, and that it leaves no goroutines behind.
+package faulttest
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Latency is the cancellation-latency budget the fault tests assert:
+// every ctx-aware computation must observe a cancellation and return
+// within this bound (the amortized polls fire every ~4096 work units,
+// so the real latency is microseconds; the budget absorbs scheduler
+// noise). Under -race the budget is scaled up, since the detector's
+// instrumentation slows the work between polls without changing the
+// poll structure being verified.
+const Latency = 100 * time.Millisecond * raceScale
+
+// Goroutines snapshots the current goroutine count, for pairing with
+// AssertNoLeak after a fault is injected.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// AssertNoLeak fails the test if the goroutine count has not returned
+// to the baseline (with slack for runtime-internal helpers) within two
+// seconds.
+func AssertNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", n, base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ExpectErr waits for the fault-injected computation's error and
+// asserts it wraps want and arrived within the latency budget. The
+// caller must inject the fault (cancel the context) immediately before
+// calling, so the measured window is cancel → return.
+func ExpectErr(t *testing.T, errc <-chan error, want error) {
+	t.Helper()
+	start := time.Now()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, want) {
+			t.Fatalf("err = %v, want %v", err, want)
+		}
+		if d := time.Since(start); d > Latency {
+			t.Fatalf("returned %v after cancellation, want < %v", d, Latency)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("computation did not stop after the fault")
+	}
+}

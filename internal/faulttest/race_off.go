@@ -1,0 +1,5 @@
+//go:build !race
+
+package faulttest
+
+const raceScale = 1

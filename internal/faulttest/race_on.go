@@ -1,0 +1,8 @@
+//go:build race
+
+package faulttest
+
+// raceScale widens the latency budget under the race detector, whose
+// instrumentation slows allocation-heavy work by roughly an order of
+// magnitude without changing the poll structure under test.
+const raceScale = 8

@@ -1,6 +1,7 @@
 package ksym
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,6 +29,16 @@ type BackboneResult struct {
 // removed. Passes repeat until no removal occurs, which reaches the
 // least element of the reduction lattice.
 func Backbone(g *graph.Graph, p *partition.Partition) *BackboneResult {
+	// context.Background is never cancelled, so BackboneCtx cannot fail.
+	bb, _ := BackboneCtx(context.Background(), g, p)
+	return bb
+}
+
+// BackboneCtx is Backbone under a context: every reduction pass polls
+// ctx.Err() per scanned component (component isomorphism checks are the
+// chunky unit of work here) and returns the context's error as soon as
+// it fires.
+func BackboneCtx(ctx context.Context, g *graph.Graph, p *partition.Partition) (*BackboneResult, error) {
 	if p.N() != g.N() {
 		panic("ksym: partition does not match graph")
 	}
@@ -39,7 +50,10 @@ func Backbone(g *graph.Graph, p *partition.Partition) *BackboneResult {
 		origOf[v] = v
 	}
 	for {
-		removed := backbonePass(cur, cellOf)
+		removed, err := backbonePass(ctx, cur, cellOf)
+		if err != nil {
+			return nil, err
+		}
 		if len(removed) == 0 {
 			break
 		}
@@ -62,7 +76,7 @@ func Backbone(g *graph.Graph, p *partition.Partition) *BackboneResult {
 		Graph:     cur,
 		Partition: partition.FromCellOf(cellOf),
 		OrigOf:    origOf,
-	}
+	}, nil
 }
 
 // maxClassMultiplicity groups the components of g[cell] into ℒ(cell)
@@ -134,11 +148,15 @@ func maxClassMultiplicity(g *graph.Graph, p *partition.Partition, cell []int) in
 
 // backbonePass performs one sweep over all cells, marking components
 // that are ℒ(V)-copies of a kept component in the same cell. It returns
-// the set of vertices to remove (empty when at a fixpoint).
-func backbonePass(g *graph.Graph, cellOf []int) map[int]bool {
+// the set of vertices to remove (empty when at a fixpoint), stopping
+// early with the context's error when it fires.
+func backbonePass(ctx context.Context, g *graph.Graph, cellOf []int) (map[int]bool, error) {
 	cells := partition.FromCellOf(cellOf)
 	removed := map[int]bool{}
 	for ci := 0; ci < cells.NumCells(); ci++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cell := cells.Cell(ci)
 		if len(cell) == 1 {
 			continue
@@ -181,7 +199,14 @@ func backbonePass(g *graph.Graph, cellOf []int) map[int]bool {
 			return comp{sub: cg, orig: orig, sigBag: intkey.Join(sigs)}
 		}
 		var kept []comp
+		tick := canceller{ctx: ctx}
 		for _, c := range comps {
+			// A cell can hold millions of tiny copied components; poll
+			// amortized by component size so a pass never runs more than
+			// ~4096 vertices past a cancellation.
+			if err := tick.tick(len(c)); err != nil {
+				return nil, err
+			}
 			cand := build(c)
 			isCopy := false
 			for _, k := range kept {
@@ -205,7 +230,7 @@ func backbonePass(g *graph.Graph, cellOf []int) map[int]bool {
 			}
 		}
 	}
-	return removed
+	return removed, nil
 }
 
 // MinimalAnonymize implements the §5.1 optimization: anonymize the
@@ -215,25 +240,41 @@ func backbonePass(g *graph.Graph, cellOf []int) map[int]bool {
 // original network embeds in the output) and at least as large as its
 // target.
 func MinimalAnonymize(g *graph.Graph, orb *partition.Partition, k int) (*Result, error) {
+	return MinimalAnonymizeCtx(context.Background(), g, orb, k)
+}
+
+// MinimalAnonymizeCtx is MinimalAnonymize under a context: both the
+// backbone detection and the copy loop poll the context with amortized
+// cost and return its error as soon as it fires.
+func MinimalAnonymizeCtx(ctx context.Context, g *graph.Graph, orb *partition.Partition, k int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("ksym: k must be ≥ 1, got %d", k)
 	}
-	return MinimalAnonymizeF(g, orb, ConstantTarget(k))
+	return MinimalAnonymizeFCtx(ctx, g, orb, ConstantTarget(k))
 }
 
 // MinimalAnonymizeF is MinimalAnonymize with an arbitrary f-symmetry
 // target.
 func MinimalAnonymizeF(g *graph.Graph, orb *partition.Partition, target Target) (*Result, error) {
-	if orb.N() != g.N() {
-		return nil, fmt.Errorf("ksym: partition covers %d vertices, graph has %d", orb.N(), g.N())
+	return MinimalAnonymizeFCtx(context.Background(), g, orb, target)
+}
+
+// MinimalAnonymizeFCtx is MinimalAnonymizeF under a context.
+func MinimalAnonymizeFCtx(ctx context.Context, g *graph.Graph, orb *partition.Partition, target Target) (*Result, error) {
+	if err := orb.Validate(g.N()); err != nil {
+		return nil, fmt.Errorf("ksym: invalid partition: %w", err)
 	}
-	bb := Backbone(g, orb)
+	bb, err := BackboneCtx(ctx, g, orb)
+	if err != nil {
+		return nil, err
+	}
 	h := bb.Graph.Clone()
 	cellOf := make([]int, h.N())
 	for v := 0; v < h.N(); v++ {
 		cellOf[v] = bb.Partition.CellIndexOf(v)
 	}
 	res := &Result{OriginalN: g.N(), OriginalM: g.M()}
+	tick := canceller{ctx: ctx}
 	for i := 0; i < bb.Partition.NumCells(); i++ {
 		bcell := bb.Partition.Cell(i)
 		// The matching cell of G: orb's cell containing the backbone
@@ -253,6 +294,9 @@ func MinimalAnonymizeF(g *graph.Graph, orb *partition.Partition, target Target) 
 			copies = mc
 		}
 		for c := 1; c < copies; c++ {
+			if err := tick.tick(len(bcell)); err != nil {
+				return nil, err
+			}
 			copyCell(h, &cellOf, i, bcell)
 			res.CopyOps++
 		}

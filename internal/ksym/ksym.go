@@ -13,11 +13,35 @@
 package ksym
 
 import (
+	"context"
 	"fmt"
 
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/partition"
 )
+
+// ctxCheckCopies is the amortized cancellation-poll interval for copy
+// loops: ctx.Err() is consulted once per ~4096 copied vertices, so
+// cancellation latency stays in the microseconds without a branch-heavy
+// hot path.
+const ctxCheckCopies = 4096
+
+// canceller amortizes context polling over units of work (copied
+// vertices, scanned components). The zero ctx is not allowed; wrap
+// context.Background() for never-cancelled callers.
+type canceller struct {
+	ctx  context.Context
+	work int
+}
+
+func (c *canceller) tick(cost int) error {
+	c.work += cost
+	if c.work < ctxCheckCopies {
+		return nil
+	}
+	c.work = 0
+	return c.ctx.Err()
+}
 
 // Result is the outcome of an anonymization run.
 type Result struct {
@@ -160,18 +184,30 @@ func copyCell(g *graph.Graph, cellOf *[]int, cellID int, orig []int) {
 // cell, together with its copies, has at least k vertices. The returned
 // graph is k-symmetric (Theorem 2).
 func Anonymize(g *graph.Graph, orb *partition.Partition, k int) (*Result, error) {
+	return AnonymizeCtx(context.Background(), g, orb, k)
+}
+
+// AnonymizeCtx is Anonymize under a context: the copy loop polls
+// ctx.Err() every ~4096 copied vertices and returns the context's error
+// as soon as it fires.
+func AnonymizeCtx(ctx context.Context, g *graph.Graph, orb *partition.Partition, k int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("ksym: k must be ≥ 1, got %d", k)
 	}
-	return AnonymizeF(g, orb, ConstantTarget(k))
+	return AnonymizeFCtx(ctx, g, orb, ConstantTarget(k))
 }
 
 // AnonymizeF implements the f-symmetry generalization (Definition 5):
 // each cell must reach the size given by its target. With
 // ConstantTarget(k) it is exactly Algorithm 1.
 func AnonymizeF(g *graph.Graph, orb *partition.Partition, target Target) (*Result, error) {
-	if orb.N() != g.N() {
-		return nil, fmt.Errorf("ksym: partition covers %d vertices, graph has %d", orb.N(), g.N())
+	return AnonymizeFCtx(context.Background(), g, orb, target)
+}
+
+// AnonymizeFCtx is AnonymizeF under a context.
+func AnonymizeFCtx(ctx context.Context, g *graph.Graph, orb *partition.Partition, target Target) (*Result, error) {
+	if err := orb.Validate(g.N()); err != nil {
+		return nil, fmt.Errorf("ksym: invalid partition: %w", err)
 	}
 	h := g.Clone()
 	cellOf := make([]int, g.N())
@@ -179,6 +215,7 @@ func AnonymizeF(g *graph.Graph, orb *partition.Partition, target Target) (*Resul
 		cellOf[v] = orb.CellIndexOf(v)
 	}
 	res := &Result{OriginalN: g.N(), OriginalM: g.M()}
+	tick := canceller{ctx: ctx}
 	for i := 0; i < orb.NumCells(); i++ {
 		orig := orb.Cell(i)
 		want := target(orig)
@@ -188,6 +225,9 @@ func AnonymizeF(g *graph.Graph, orb *partition.Partition, target Target) (*Resul
 		// Each operation copies the original cell (Lemma 2): after N
 		// operations the union cell has (N+1)·|orig| vertices.
 		for size := len(orig); size < want; size += len(orig) {
+			if err := tick.tick(len(orig)); err != nil {
+				return nil, err
+			}
 			copyCell(h, &cellOf, i, orig)
 			res.CopyOps++
 		}

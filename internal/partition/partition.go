@@ -136,6 +136,51 @@ func Discrete(n int) *Partition {
 	return &Partition{cells: cells, cellOf: cellOf}
 }
 
+// Validate checks that p is a well-formed partition of exactly the
+// vertex set {0..n-1}: every cell non-empty and in range, no vertex in
+// two cells, every vertex covered, and the cell index consistent with
+// the cell lists. The package's constructors enforce all of this, but
+// partitions also arrive from files (ReadFile) and from callers holding
+// the exposed cell slices, and anonymization with a corrupt partition
+// silently produces a corrupt graph — so boundary APIs (ksym.AnonymizeF
+// and friends) validate before copying.
+func (p *Partition) Validate(n int) error {
+	if p == nil {
+		return fmt.Errorf("partition: nil partition")
+	}
+	if len(p.cellOf) != n {
+		return fmt.Errorf("partition: covers %d vertices, want %d", len(p.cellOf), n)
+	}
+	seen := make([]bool, n)
+	covered := 0
+	for ci, cell := range p.cells {
+		if len(cell) == 0 {
+			return fmt.Errorf("partition: cell %d is empty", ci)
+		}
+		for _, v := range cell {
+			if v < 0 || v >= n {
+				return fmt.Errorf("partition: cell %d contains vertex %d, outside [0,%d)", ci, v, n)
+			}
+			if seen[v] {
+				return fmt.Errorf("partition: vertex %d appears in two cells", v)
+			}
+			seen[v] = true
+			if p.cellOf[v] != ci {
+				return fmt.Errorf("partition: vertex %d listed in cell %d but indexed to cell %d", v, ci, p.cellOf[v])
+			}
+			covered++
+		}
+	}
+	if covered != n {
+		for v, ok := range seen {
+			if !ok {
+				return fmt.Errorf("partition: vertex %d not covered by any cell", v)
+			}
+		}
+	}
+	return nil
+}
+
 // N returns the number of vertices partitioned.
 func (p *Partition) N() int { return len(p.cellOf) }
 

@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ksymmetry/internal/automorphism"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/partition"
+	"ksymmetry/internal/refine"
+)
+
+// PartitionLadder runs only the partition stage of the pipeline: the
+// exact → budgeted → 𝒯𝒟𝒱 degradation ladder on g, under ctx, honoring
+// cfg's StartMode, budgets, and ExactShare (cfg's input/anonymization
+// fields are ignored). It returns the partition, the rung that produced
+// it, and the step-down log. Callers that want the whole flow should
+// use Run; this entry point exists for callers that manage their own
+// anonymization, like the experiment harness.
+func PartitionLadder(ctx context.Context, g *graph.Graph, cfg Config) (*partition.Partition, PartitionMode, []string, error) {
+	r := &Result{Graph: g}
+	p, mode, err := r.ladder(ctx, cfg)
+	return p, mode, r.Downgrades, err
+}
+
+// ladder runs the partition degradation ladder:
+//
+//	exact Orb(G)  →  budgeted best-effort Orb(G)  →  𝒯𝒟𝒱(G)
+//
+// Each orbit rung gets its own node budget and a bounded share of the
+// remaining deadline, so a stuck search can never starve the rungs
+// below it. A rung that fails with ErrBudgetExceeded or a deadline
+// steps down. A cancellation of the parent context aborts the whole
+// ladder — the caller asked us to stop working. A blown parent
+// *deadline* does not: a deadline asks for the best answer available
+// by time T, and the near-linear 𝒯𝒟𝒱(G) bottom rung is exactly that
+// answer, so it runs detached from the expired deadline (bounding the
+// overshoot by one refinement pass).
+func (r *Result) ladder(ctx context.Context, cfg Config) (*partition.Partition, PartitionMode, error) {
+	g := r.Graph
+	share := cfg.ExactShare
+	if share <= 0 || share >= 1 {
+		share = 0.5
+	}
+	exactBudget := cfg.NodeBudget
+	if exactBudget == 0 {
+		exactBudget = automorphism.DefaultNodeBudget
+	}
+	budgetedBudget := cfg.BudgetedNodeBudget
+	if budgetedBudget == 0 {
+		if budgetedBudget = exactBudget / 64; budgetedBudget < 1 {
+			budgetedBudget = 1
+		}
+	}
+
+	rungs := []struct {
+		mode PartitionMode
+		opts *automorphism.Options
+	}{
+		{ModeExact, &automorphism.Options{NodeBudget: exactBudget, Workers: cfg.Workers}},
+		{ModeBudgeted, &automorphism.Options{NodeBudget: budgetedBudget, Workers: cfg.Workers, BestEffort: true}},
+	}
+	start := 0
+	switch cfg.StartMode {
+	case "", ModeExact:
+	case ModeBudgeted:
+		start = 1
+	case ModeTDV:
+		start = len(rungs)
+	default:
+		return nil, "", fmt.Errorf("unknown start mode %q", cfg.StartMode)
+	}
+
+	for _, rung := range rungs[start:] {
+		rctx, cancel := rungContext(ctx, share)
+		p, _, err := automorphism.OrbitPartitionCtx(rctx, g, rung.opts)
+		cancel()
+		if err == nil {
+			return p, rung.mode, nil
+		}
+		// A *cancelled* parent dooms every rung below too: abort with
+		// the parent's error rather than burning more time on fallbacks
+		// the caller no longer wants. A blown parent deadline is not an
+		// abort — the rungs below exist precisely for that case.
+		if perr := ctx.Err(); perr != nil && !errors.Is(perr, context.DeadlineExceeded) {
+			return nil, "", perr
+		}
+		if errors.Is(err, automorphism.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded) {
+			r.Downgrades = append(r.Downgrades,
+				fmt.Sprintf("partition: %s orbit search gave up (%v); degrading", rung.mode, err))
+			continue
+		}
+		return nil, "", err
+	}
+
+	// Bottom rung: 𝒯𝒟𝒱(G). Refinement is near-linear, so when the
+	// parent deadline has already passed it still runs — detached from
+	// the expired context (whose error is sticky, so no cancellation
+	// signal is lost) — to deliver the paper's fallback instead of
+	// nothing.
+	tctx := ctx
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		r.Downgrades = append(r.Downgrades,
+			"partition: deadline expired; computing 𝒯𝒟𝒱(G) past it as the answer of last resort")
+		tctx = context.WithoutCancel(ctx)
+	}
+	p, err := refine.TotalDegreePartitionCtx(tctx, g)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, ModeTDV, nil
+}
+
+// rungContext derives a rung-local context holding a share of the time
+// left until the parent deadline. Without a parent deadline the rung is
+// bounded by its node budget alone.
+func rungContext(ctx context.Context, share float64) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return context.WithCancel(ctx) // already expired; rung fails fast
+	}
+	return context.WithDeadline(ctx, time.Now().Add(time.Duration(float64(rem)*share)))
+}

@@ -1,0 +1,190 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/faulttest"
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/ksym"
+)
+
+func TestRunExactMode(t *testing.T) {
+	res, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionMode != ModeExact {
+		t.Fatalf("mode = %q, want exact", res.PartitionMode)
+	}
+	if res.Anonymized == nil || !ksym.IsKSymmetric(res.Anonymized.Partition, 3) {
+		t.Fatal("output is not 3-symmetric")
+	}
+	for _, stage := range []string{"load", "partition", "anonymize"} {
+		if res.StageDuration(stage) <= 0 {
+			t.Errorf("stage %q has no recorded duration", stage)
+		}
+	}
+	if len(res.Downgrades) != 0 {
+		t.Fatalf("unexpected downgrades: %v", res.Downgrades)
+	}
+}
+
+func TestRunStartModeTDV(t *testing.T) {
+	res, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 3, StartMode: ModeTDV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionMode != ModeTDV {
+		t.Fatalf("mode = %q, want tdv", res.PartitionMode)
+	}
+}
+
+func TestRunUnknownStartMode(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 3, StartMode: "bogus"}); err == nil {
+		t.Fatal("unknown start mode accepted")
+	}
+}
+
+func TestLadderDegradesOnBudget(t *testing.T) {
+	// A one-node search budget starves the exact rung; the best-effort
+	// rung then succeeds with a finer (still valid) partition.
+	res, err := Run(context.Background(), Config{Graph: datasets.Cycle(50), K: 2, NodeBudget: 1, BudgetedNodeBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionMode != ModeBudgeted {
+		t.Fatalf("mode = %q, want budgeted", res.PartitionMode)
+	}
+	if len(res.Downgrades) == 0 {
+		t.Fatal("no downgrade recorded")
+	}
+	if !ksym.IsKSymmetric(res.Anonymized.Partition, 2) {
+		t.Fatal("budgeted partition lost the anonymity guarantee")
+	}
+}
+
+func TestDeadlineDegradesToTDV(t *testing.T) {
+	// An unmeetable deadline must still produce the 𝒯𝒟𝒱 answer of last
+	// resort on a graph small enough to anonymize within one poll
+	// interval.
+	res, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 2, Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionMode != ModeTDV {
+		t.Fatalf("mode = %q, want tdv", res.PartitionMode)
+	}
+	if len(res.Downgrades) == 0 {
+		t.Fatal("no downgrade recorded")
+	}
+}
+
+func TestCancelMidPartitionStage(t *testing.T) {
+	base := faulttest.Goroutines()
+	ctx, cancel := context.WithCancel(context.Background())
+	resc := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := Run(ctx, Config{Graph: datasets.Cycle(20000), K: 2})
+		resc <- res
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	faulttest.ExpectErr(t, errc, context.Canceled)
+	faulttest.AssertNoLeak(t, base)
+	res := <-resc
+	if res == nil {
+		t.Fatal("Run returned a nil Result on failure")
+	}
+	if res.StageDuration("partition") <= 0 {
+		t.Fatal("failed stage's duration not recorded")
+	}
+}
+
+func TestPanicInLoadStage(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Source: func(context.Context) (*graph.Graph, error) { panic("corrupt input") },
+		K:      2,
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if se.Stage != "load" || se.Panic == nil || len(se.Stack) == 0 {
+		t.Fatalf("stage error = %+v, want load-stage panic with stack", se)
+	}
+	if res == nil || len(res.Stages) != 1 {
+		t.Fatalf("partial result = %+v", res)
+	}
+}
+
+func TestPanicInPublishStage(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Graph: datasets.Fig3(),
+		K:     2,
+		Sink:  func(context.Context, *Result) error { panic("disk on fire") },
+	})
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "publish" || se.Panic == nil {
+		t.Fatalf("err = %v, want publish-stage panic", err)
+	}
+}
+
+func TestStageErrorUnwrap(t *testing.T) {
+	sentinel := fmt.Errorf("boom")
+	_, err := Run(context.Background(), Config{
+		Source: func(context.Context) (*graph.Graph, error) { return nil, fmt.Errorf("reading: %w", sentinel) },
+		K:      2,
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("StageError does not unwrap to the cause: %v", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "load" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigInputValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{K: 2}); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := Run(context.Background(), Config{
+		Graph:  datasets.Fig3(),
+		Source: func(ctx context.Context) (*graph.Graph, error) { return nil, nil },
+		K:      2,
+	}); err == nil {
+		t.Fatal("both Source and Graph accepted")
+	}
+	if _, err := Run(context.Background(), Config{Graph: datasets.Fig3()}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestPartitionLadderStandalone(t *testing.T) {
+	g := datasets.Fig3()
+	p, mode, downgrades, err := PartitionLadder(context.Background(), g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != ModeExact || len(downgrades) != 0 {
+		t.Fatalf("mode = %q downgrades = %v", mode, downgrades)
+	}
+	if err := p.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuaranteeStrings(t *testing.T) {
+	for _, m := range []PartitionMode{ModeExact, ModeBudgeted, ModeTDV} {
+		if m.Guarantee() == "unknown partition mode" {
+			t.Fatalf("mode %q has no guarantee text", m)
+		}
+	}
+}

@@ -13,6 +13,8 @@
 package refine
 
 import (
+	"context"
+
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/intkey"
 	"ksymmetry/internal/partition"
@@ -23,23 +25,39 @@ import (
 // the same number of neighbors in C. The result is the coarsest
 // equitable partition finer than initial.
 func Equitable(g *graph.Graph, initial *partition.Partition) *partition.Partition {
+	p, _ := EquitableCtx(context.Background(), g, initial)
+	return p
+}
+
+// EquitableCtx is Equitable under a context: refinement polls the
+// context with amortized cost and returns its error (and a nil
+// partition) if it fires before the fixpoint is reached.
+func EquitableCtx(ctx context.Context, g *graph.Graph, initial *partition.Partition) (*partition.Partition, error) {
 	if initial.N() != g.N() {
 		panic("refine: partition size does not match graph")
 	}
 	r := NewRefiner(g)
 	r.Reset(initial)
-	r.Run()
-	return r.Partition()
+	if err := r.RunCtx(ctx); err != nil {
+		return nil, err
+	}
+	return r.Partition(), nil
 }
 
 // TotalDegreePartition returns 𝒯𝒟𝒱(G): the coarsest equitable partition
 // of G, obtained by stabilizing the unit partition. It is always coarser
 // than (or equal to) Orb(G).
 func TotalDegreePartition(g *graph.Graph) *partition.Partition {
+	p, _ := TotalDegreePartitionCtx(context.Background(), g)
+	return p
+}
+
+// TotalDegreePartitionCtx is TotalDegreePartition under a context.
+func TotalDegreePartitionCtx(ctx context.Context, g *graph.Graph) (*partition.Partition, error) {
 	if g.N() == 0 {
-		return partition.FromCellOf(nil)
+		return partition.FromCellOf(nil), nil
 	}
-	return Equitable(g, partition.Unit(g.N()))
+	return EquitableCtx(ctx, g, partition.Unit(g.N()))
 }
 
 // DegreePartition groups vertices by degree — the starting point of the

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"sort"
 
 	"ksymmetry/internal/graph"
@@ -235,6 +236,22 @@ func (r *Refiner) Individualize(v int) {
 // re-bucketing only the cells its members touch. On return the partition
 // is the coarsest equitable partition finer than the loaded state.
 func (r *Refiner) Run() {
+	// context.Background is never cancelled, so RunCtx cannot fail.
+	_ = r.RunCtx(context.Background())
+}
+
+// ctxCheckWork is the amortized cancellation-poll interval: ctx.Err() is
+// consulted once per this many units of splitter work, so the hot loop
+// stays branch-cheap and allocation-free between polls.
+const ctxCheckWork = 4096
+
+// RunCtx is Run under a context: the worklist drain polls ctx.Err()
+// every ~4096 units of splitter work and stops early with the context's
+// error when it fires. On a non-nil return the partition is mid-
+// refinement (not a fixpoint) and the worklist has been cleared; the
+// Refiner must be re-loaded with Reset/ResetColors/Restore before reuse.
+func (r *Refiner) RunCtx(ctx context.Context) error {
+	work := 0
 	for r.qhead < len(r.queue) {
 		sc := r.queue[r.qhead]
 		r.qhead++
@@ -244,7 +261,16 @@ func (r *Refiner) Run() {
 			r.qhead = 0
 		}
 		r.splitAgainst(sc)
+		work += len(r.spl) + 1
+		if work >= ctxCheckWork {
+			work = 0
+			if err := ctx.Err(); err != nil {
+				r.clearQueue()
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 // splitAgainst uses cell sc as the splitter: counts every vertex's edges

@@ -1,0 +1,48 @@
+package sampling
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/faulttest"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/refine"
+)
+
+func TestCancelExactSampler(t *testing.T) {
+	// Exact sampling starts with backbone detection, whose per-cell
+	// poll fires immediately on a dead context.
+	g := datasets.Path(2000)
+	p := refine.TotalDegreePartition(g)
+	res, err := ksym.Anonymize(g, p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ExactCtx(ctx, res.Graph, res.Partition, g.N(), &Options{Rng: rand.New(rand.NewSource(1))})
+		errc <- err
+	}()
+	faulttest.ExpectErr(t, errc, context.Canceled)
+}
+
+func TestCancelApproximateSampler(t *testing.T) {
+	// The DFS polls every ~4096 steps; a graph with ≫4096 traversal
+	// steps must notice a pre-cancelled context partway through.
+	g := datasets.ErdosRenyiGM(50000, 150000, 7)
+	p := refine.TotalDegreePartition(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := faulttest.Goroutines()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ApproximateCtx(ctx, g, p, g.N(), &Options{Rng: rand.New(rand.NewSource(2))})
+		errc <- err
+	}()
+	faulttest.ExpectErr(t, errc, context.Canceled)
+	faulttest.AssertNoLeak(t, base)
+}

@@ -8,6 +8,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,6 +16,10 @@ import (
 	"ksymmetry/internal/ksym"
 	"ksymmetry/internal/partition"
 )
+
+// ctxCheckWork is the amortized cancellation-poll interval shared by the
+// samplers' loops (budget distribution, regrow copies, DFS steps).
+const ctxCheckWork = 4096
 
 // Options configures a sampler.
 type Options struct {
@@ -111,6 +116,13 @@ func pickWeighted(rng *rand.Rand, probs []float64, eligible func(i int) bool) in
 // cell sizes, and regrow by orbit copying. The output has at least n
 // vertices and overshoots by at most the size of the last-copied cell.
 func Exact(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*graph.Graph, error) {
+	return ExactCtx(context.Background(), gp, vp, n, opts)
+}
+
+// ExactCtx is Exact under a context: backbone detection, budget
+// distribution, and the regrow loop all poll the context with amortized
+// cost and return its error as soon as it fires.
+func ExactCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*graph.Graph, error) {
 	probs, err := opts.validate(gp, vp)
 	if err != nil {
 		return nil, err
@@ -121,7 +133,10 @@ func Exact(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*gra
 	if n < 1 || n > gp.N() {
 		return nil, fmt.Errorf("sampling: target size %d outside [1,%d]", n, gp.N())
 	}
-	bb := ksym.Backbone(gp, vp)
+	bb, err := ksym.BackboneCtx(ctx, gp, vp)
+	if err != nil {
+		return nil, err
+	}
 	// Map backbone cells onto 𝒱' cells to reuse the given probabilities
 	// and enforce the size constraint.
 	cellOfB := make([]int, bb.Partition.NumCells())
@@ -133,7 +148,16 @@ func Exact(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*gra
 	}
 	cpn := make([]int, bb.Partition.NumCells())
 	budget := n - bb.Graph.N()
+	draws := 0
 	for budget > 0 {
+		// Each draw scans all cells in pickWeighted; poll amortized so a
+		// pathological many-cell release stays cancellable.
+		draws++
+		if draws%ctxCheckWork == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		i := pickWeighted(opts.Rng, bprobs, func(i int) bool {
 			bi := len(bb.Partition.Cell(i))
 			return (cpn[i]+2)*bi <= len(vp.Cell(cellOfB[i]))
@@ -151,8 +175,16 @@ func Exact(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*gra
 	for v := 0; v < h.N(); v++ {
 		cellOf[v] = bb.Partition.CellIndexOf(v)
 	}
+	copied := 0
 	for i := 0; i < bb.Partition.NumCells(); i++ {
 		for c := 0; c < cpn[i]; c++ {
+			copied += len(bb.Partition.Cell(i))
+			if copied >= ctxCheckWork {
+				copied = 0
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			ksym.CopyCellInPlace(h, &cellOf, i, bb.Partition.Cell(i))
 		}
 	}
@@ -168,6 +200,13 @@ func Exact(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*gra
 // before reaching n vertices, it restarts from an unvisited vertex
 // (a documented extension — the paper leaves this case unspecified).
 func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*graph.Graph, error) {
+	return ApproximateCtx(context.Background(), gp, vp, n, opts)
+}
+
+// ApproximateCtx is Approximate under a context: the quota distribution
+// and the quota-guided DFS poll the context every ~4096 steps and return
+// its error as soon as it fires.
+func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partition, n int, opts *Options) (*graph.Graph, error) {
 	probs, err := opts.validate(gp, vp)
 	if err != nil {
 		return nil, err
@@ -185,7 +224,14 @@ func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options)
 		s[i] = 1
 	}
 	budget := n - vp.NumCells()
+	draws := 0
 	for budget > 0 {
+		draws++
+		if draws%ctxCheckWork == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		i := pickWeighted(rng, probs, func(i int) bool { return s[i] < len(vp.Cell(i)) })
 		if i < 0 {
 			break
@@ -202,13 +248,20 @@ func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options)
 	visited := make([]bool, gp.N())
 	selected := make([]bool, gp.N())
 	remaining := n
+	steps := 0
 	type frame struct{ v, i int }
 	var stack []frame
-	dfs := func(root int) {
+	dfs := func(root int) error {
 		stack = append(stack[:0], frame{v: root})
 		for len(stack) > 0 {
 			if remaining < 1 {
-				return
+				return nil
+			}
+			steps++
+			if steps%ctxCheckWork == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 			f := &stack[len(stack)-1]
 			nbrs := gp.Neighbors(f.v)
@@ -229,22 +282,32 @@ func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options)
 				stack = append(stack, frame{v: u})
 			}
 		}
+		return nil
 	}
-	start := func(r int) {
+	start := func(r int) error {
 		visited[r] = true
 		if t := vp.CellIndexOf(r); s[t] > 0 {
 			selected[r] = true
 			s[t]--
 			remaining--
-			dfs(r)
+			return dfs(r)
 		}
+		return nil
 	}
-	start(rng.Intn(gp.N()))
+	if err := start(rng.Intn(gp.N())); err != nil {
+		return nil, err
+	}
 	// Restart from unvisited vertices in cells with open quota until the
 	// target is met or nothing remains.
 	for remaining > 0 {
 		r := -1
 		for v := 0; v < gp.N(); v++ {
+			steps++
+			if steps%ctxCheckWork == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if !visited[v] && s[vp.CellIndexOf(v)] > 0 {
 				r = v
 				break
@@ -253,7 +316,9 @@ func Approximate(gp *graph.Graph, vp *partition.Partition, n int, opts *Options)
 		if r < 0 {
 			break
 		}
-		start(r)
+		if err := start(r); err != nil {
+			return nil, err
+		}
 	}
 	var keep []int
 	for v := 0; v < gp.N(); v++ {
