@@ -29,6 +29,7 @@ func main() {
 		seed         = flag.Int64("seed", datasets.DefaultSeed, "dataset/sampler seed")
 		quick        = flag.Bool("quick", false, "reduced sample counts for a fast pass")
 		orbitTimeout = flag.Duration("orbit-timeout", 0, "cap per-network orbit computation; a slow network degrades to 𝒯𝒟𝒱(G) instead of stalling the sweep (0 = none)")
+		workers      = flag.Int("workers", 0, "worker pool for experiment fan-out and sampling batches; results are identical at every value (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 	e := experiments.NewEnv(*seed)
 	e.Ctx = ctx
 	e.OrbitTimeout = *orbitTimeout
+	e.Workers = *workers
 	w := os.Stdout
 
 	// Paper-scale parameters, reduced under -quick.

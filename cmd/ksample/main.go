@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 
@@ -31,7 +30,8 @@ func main() {
 		method    = flag.String("method", "approx", "sampling method: approx (Alg. 4/5) or exact (Alg. 3)")
 		count     = flag.Int("count", 1, "number of sample graphs to draw")
 		uniform   = flag.Bool("uniform", false, "use uniform cell weights instead of inverse-degree")
-		seed      = flag.Int64("seed", 1, "random seed")
+		seed      = flag.Int64("seed", 1, "random seed (sample i's RNG is derived from (seed, i))")
+		workers   = flag.Int("workers", 0, "draw samples across this many workers; output is identical at every value (0 = GOMAXPROCS)")
 		outDir    = flag.String("out-dir", "", "write samples as sample_<i>.edges here (default stdout, count=1 only)")
 	)
 	flag.Parse()
@@ -60,26 +60,26 @@ func main() {
 	default:
 		fatal(fmt.Errorf("either -release, or -graph with -partition and -n, is required"))
 	}
-	opts := &sampling.Options{Rng: rand.New(rand.NewSource(*seed))}
+	opts := &sampling.Options{Seed: *seed, Parallelism: *workers}
 	if *uniform {
 		opts.Probabilities = sampling.UniformProbabilities(p)
+	}
+	switch *method {
+	case "approx":
+		opts.Method = sampling.SamplerApproximate
+	case "exact":
+		opts.Method = sampling.SamplerExact
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 	if *outDir == "" && *count != 1 {
 		fatal(fmt.Errorf("-count > 1 requires -out-dir"))
 	}
-	for i := 0; i < *count; i++ {
-		var s *graph.Graph
-		switch *method {
-		case "approx":
-			s, err = sampling.Approximate(g, p, *n, opts)
-		case "exact":
-			s, err = sampling.Exact(g, p, *n, opts)
-		default:
-			err = fmt.Errorf("unknown method %q", *method)
-		}
-		if err != nil {
-			fatal(err)
-		}
+	samples, err := sampling.Batch(g, p, *n, *count, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for i, s := range samples {
 		if *outDir == "" {
 			if err := s.Write(os.Stdout); err != nil {
 				fatal(err)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"ksymmetry/internal/datasets"
@@ -48,6 +49,9 @@ func main() {
 		useTDP      = flag.Bool("tdp", false, "use the total degree partition instead of exact Orb(G) (the paper's large-graph fallback, §7)")
 		timeout     = flag.Duration("timeout", 0, "bound the whole run; the partition stage degrades down the ladder rather than blowing it (0 = none)")
 		seed        = flag.Int64("seed", datasets.DefaultSeed, "seed for built-in graph generation")
+		workers     = flag.Int("workers", 0, "worker pool for the orbit search and publish-stage sampling (0 = GOMAXPROCS for sampling, sequential search)")
+		samples     = flag.Int("samples", 0, "draw this many approximate samples in the publish stage (deterministic in -seed, independent of -workers)")
+		samplesDir  = flag.String("samples-dir", "", "write publish-stage samples as sample_<i>.edges here (requires -samples)")
 	)
 	flag.Parse()
 
@@ -57,12 +61,18 @@ func main() {
 	defer stop()
 
 	cfg := pipeline.Config{
-		Source:  func(context.Context) (*graph.Graph, error) { return loadGraph(*in, *demo, *seed) },
-		K:       *k,
-		Minimal: *minimal,
-		Timeout: *timeout,
+		Source:     func(context.Context) (*graph.Graph, error) { return loadGraph(*in, *demo, *seed) },
+		K:          *k,
+		Minimal:    *minimal,
+		Timeout:    *timeout,
+		Workers:    *workers,
+		Samples:    *samples,
+		SampleSeed: *seed,
 		Sink: func(_ context.Context, res *pipeline.Result) error {
-			return writeOutputs(res.Anonymized, *out, *partOut, *release)
+			if err := writeOutputs(res.Anonymized, *out, *partOut, *release); err != nil {
+				return err
+			}
+			return writeSamples(res.Samples, *samplesDir)
 		},
 	}
 	if *useTDP {
@@ -115,6 +125,24 @@ func report(res *pipeline.Result, err error) {
 	fmt.Fprintf(os.Stderr, "anonymized: %d→%d vertices (+%d), %d→%d edges (+%d), %d copy operations\n",
 		a.OriginalN, a.Graph.N(), a.VerticesAdded(),
 		a.OriginalM, a.Graph.M(), a.EdgesAdded(), a.CopyOps)
+	if len(res.Samples) > 0 {
+		fmt.Fprintf(os.Stderr, "sampled: %d graphs of %d vertices\n", len(res.Samples), a.OriginalN)
+	}
+}
+
+// writeSamples writes the publish-stage sample batch (no-op when the
+// run drew none or no directory was given).
+func writeSamples(samples []*graph.Graph, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	for i, s := range samples {
+		path := filepath.Join(dir, fmt.Sprintf("sample_%03d.edges", i))
+		if err := s.WriteFile(path); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeOutputs is the publish stage: the anonymized graph to -out (or

@@ -34,6 +34,15 @@ type (
 	BackboneResult = ksym.BackboneResult
 	// SamplingOptions configures the §4.2 samplers.
 	SamplingOptions = sampling.Options
+	// Sampler selects the batch sampling algorithm (SamplerApproximate
+	// or SamplerExact).
+	Sampler = sampling.Sampler
+)
+
+// Re-exported sampler selectors for SamplingOptions.Method.
+const (
+	SamplerApproximate = sampling.SamplerApproximate
+	SamplerExact       = sampling.SamplerExact
 )
 
 // NewGraph returns a graph with n isolated vertices.
@@ -78,6 +87,17 @@ func SampleApproximate(gp *Graph, vp *Partition, n int, opts *SamplingOptions) (
 	return sampling.Approximate(gp, vp, n, opts)
 }
 
+// SampleBatch draws count samples across a bounded worker pool with
+// deterministic per-sample RNG streams derived from opts.Seed — the
+// result is byte-identical at every opts.Parallelism value.
+func SampleBatch(gp *Graph, vp *Partition, n, count int, opts *SamplingOptions) ([]*Graph, error) {
+	return sampling.Batch(gp, vp, n, count, opts)
+}
+
+// DeriveSeed derives the seed of the stream-th independent RNG stream
+// of a base seed (the splitmix64 scheme SampleBatch uses per sample).
+func DeriveSeed(seed int64, stream int) int64 { return sampling.DeriveSeed(seed, stream) }
+
 // NewSamplingOptions returns sampler options with the default
 // inverse-degree weights and a seeded RNG.
 func NewSamplingOptions(seed int64) *SamplingOptions {
@@ -115,6 +135,19 @@ func MinimalAnonymizeCtx(ctx context.Context, g *Graph, orb *Partition, k int) (
 // BackboneCtx is Backbone under a context.
 func BackboneCtx(ctx context.Context, g *Graph, p *Partition) (*BackboneResult, error) {
 	return ksym.BackboneCtx(ctx, g, p)
+}
+
+// BackboneWorkersCtx is BackboneCtx with the per-cell component
+// classification fanned out across `workers` goroutines (0/1 =
+// sequential); the result is identical at every worker count.
+func BackboneWorkersCtx(ctx context.Context, g *Graph, p *Partition, workers int) (*BackboneResult, error) {
+	return ksym.BackboneWorkersCtx(ctx, g, p, workers)
+}
+
+// SampleBatchCtx is SampleBatch under a context: cancellation
+// propagates into every in-flight sample.
+func SampleBatchCtx(ctx context.Context, gp *Graph, vp *Partition, n, count int, opts *SamplingOptions) ([]*Graph, error) {
+	return sampling.BatchCtx(ctx, gp, vp, n, count, opts)
 }
 
 // SampleExactCtx is SampleExact under a context.

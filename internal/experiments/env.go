@@ -2,12 +2,18 @@
 // paper's evaluation (see DESIGN.md §2 for the experiment index). Each
 // runner prints the rows/series the paper reports and returns them as
 // structured data so benchmarks and tests can assert on shapes.
+//
+// Runners fan their per-network / per-k work out across the
+// environment's worker pool (Env.Workers) and collect rows in input
+// order, so the printed output and returned slices are identical at
+// every worker count (DESIGN.md §7).
 package experiments
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -15,6 +21,7 @@ import (
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/partition"
 	"ksymmetry/internal/pipeline"
+	"ksymmetry/internal/sampling"
 )
 
 // Env caches the evaluation networks and their (expensive) automorphism
@@ -30,20 +37,43 @@ type Env struct {
 	// partition ladder (budgeted search, then 𝒯𝒟𝒱) instead of stalling
 	// the whole sweep; OrbitMode reports what each network actually got.
 	OrbitTimeout time.Duration
+	// Workers bounds every fan-out a runner performs — per-network and
+	// per-k sweeps, sampling batches, and per-sample statistics passes
+	// (0 = GOMAXPROCS). Results are independent of the value: every
+	// random stream is derived from (Seed, index), never shared across
+	// concurrent work.
+	Workers int
 
 	mu     sync.Mutex
-	graphs map[string]*graph.Graph
-	orbits map[string]*partition.Partition
-	modes  map[string]pipeline.PartitionMode
+	graphs map[string]*graphEntry
+	orbits map[string]*orbitEntry
+}
+
+// graphEntry builds one network at most once, without holding the
+// environment lock during generation, so concurrent runners do not
+// serialize on unrelated networks.
+type graphEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+// orbitEntry is the per-network orbit cache; mode is additionally
+// guarded by Env.mu so OrbitMode can be read while other networks are
+// still computing.
+type orbitEntry struct {
+	once sync.Once
+	p    *partition.Partition
+	mode pipeline.PartitionMode
+	err  error
 }
 
 // NewEnv returns an environment seeded for reproducible runs.
 func NewEnv(seed int64) *Env {
 	return &Env{
 		Seed:   seed,
-		graphs: map[string]*graph.Graph{},
-		orbits: map[string]*partition.Partition{},
-		modes:  map[string]pipeline.PartitionMode{},
+		graphs: map[string]*graphEntry{},
+		orbits: map[string]*orbitEntry{},
 	}
 }
 
@@ -57,57 +87,77 @@ func (e *Env) ctx() context.Context {
 	return context.Background()
 }
 
+// rng returns a fresh RNG on the stream-th derived stream of the given
+// base seed — the per-index scheme that keeps fanned-out statistics
+// passes (path-length sampling, most importantly) deterministic at
+// every worker count.
+func rng(seed int64, stream int) *rand.Rand {
+	return rand.New(rand.NewSource(sampling.DeriveSeed(seed, stream)))
+}
+
 // Graph returns (and caches) the named calibrated network, or an error
-// for a name outside datasets.NetworkNames().
+// for a name outside datasets.NetworkNames(). Concurrent callers of
+// different networks generate in parallel; callers of the same network
+// share one generation.
 func (e *Env) Graph(name string) (*graph.Graph, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if g, ok := e.graphs[name]; ok {
-		return g, nil
+	ent, ok := e.graphs[name]
+	if !ok {
+		ent = &graphEntry{}
+		e.graphs[name] = ent
 	}
-	var g *graph.Graph
-	switch name {
-	case "Enron":
-		g = datasets.Enron(e.Seed)
-	case "Hepth":
-		g = datasets.Hepth(e.Seed)
-	case "Net-trace":
-		g = datasets.NetTrace(e.Seed)
-	default:
-		return nil, fmt.Errorf("experiments: unknown network %q", name)
-	}
-	e.graphs[name] = g
-	return g, nil
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		switch name {
+		case "Enron":
+			ent.g = datasets.Enron(e.Seed)
+		case "Hepth":
+			ent.g = datasets.Hepth(e.Seed)
+		case "Net-trace":
+			ent.g = datasets.NetTrace(e.Seed)
+		default:
+			ent.err = fmt.Errorf("experiments: unknown network %q", name)
+		}
+	})
+	return ent.g, ent.err
 }
 
 // Orbits returns (and caches) the automorphism partition of the named
 // network, computed through the pipeline's degradation ladder: exact
 // Orb(G) first, then a budgeted best-effort search, then 𝒯𝒟𝒱(G) when
 // the environment's timeout (or the search budget) runs out. OrbitMode
-// reports which rung the cached partition came from.
+// reports which rung the cached partition came from. Orbit computations
+// for different networks run concurrently when runners fan out.
 func (e *Env) Orbits(name string) (*partition.Partition, error) {
 	g, err := e.Graph(name)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if p, ok := e.orbits[name]; ok {
-		return p, nil
+	ent, ok := e.orbits[name]
+	if !ok {
+		ent = &orbitEntry{}
+		e.orbits[name] = ent
 	}
-	ctx := e.ctx()
-	if e.OrbitTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.OrbitTimeout)
-		defer cancel()
-	}
-	p, mode, _, err := pipeline.PartitionLadder(ctx, g, pipeline.Config{})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: orbit computation on %s: %w", name, err)
-	}
-	e.orbits[name] = p
-	e.modes[name] = mode
-	return p, nil
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ctx := e.ctx()
+		if e.OrbitTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.OrbitTimeout)
+			defer cancel()
+		}
+		p, mode, _, err := pipeline.PartitionLadder(ctx, g, pipeline.Config{Workers: e.Workers})
+		if err != nil {
+			ent.err = fmt.Errorf("experiments: orbit computation on %s: %w", name, err)
+			return
+		}
+		ent.p = p
+		e.mu.Lock()
+		ent.mode = mode
+		e.mu.Unlock()
+	})
+	return ent.p, ent.err
 }
 
 // graphAndOrbits fetches a network together with its partition — the
@@ -129,7 +179,10 @@ func (e *Env) graphAndOrbits(name string) (*graph.Graph, *partition.Partition, e
 func (e *Env) OrbitMode(name string) pipeline.PartitionMode {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.modes[name]
+	if ent, ok := e.orbits[name]; ok {
+		return ent.mode
+	}
+	return ""
 }
 
 func fprintf(w io.Writer, format string, args ...any) {

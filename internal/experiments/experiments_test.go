@@ -265,3 +265,41 @@ func TestExtendedUtility(t *testing.T) {
 		}
 	}
 }
+
+// TestExperimentsDeterministicAcrossWorkers: a runner's rows (and its
+// printed output) must be identical at every Env.Workers value — the
+// whole point of deriving per-index RNG streams instead of sharing one.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (string, []Fig8Row, []Fig11Row) {
+		e := NewEnv(datasets.DefaultSeed)
+		e.Workers = workers
+		var buf bytes.Buffer
+		rows8, err := Figure8(&buf, e, 3, 3, 60)
+		if err != nil {
+			t.Fatalf("workers=%d figure8: %v", workers, err)
+		}
+		rows11, err := Figure11(&buf, e, []int{5}, []float64{0, 0.05}, 3, 60)
+		if err != nil {
+			t.Fatalf("workers=%d figure11: %v", workers, err)
+		}
+		return buf.String(), rows8, rows11
+	}
+	out1, rows8a, rows11a := run(1)
+	out4, rows8b, rows11b := run(4)
+	if out1 != out4 {
+		t.Fatalf("printed output differs between workers 1 and 4:\n%s\nvs\n%s", out1, out4)
+	}
+	if len(rows8a) != len(rows8b) || len(rows11a) != len(rows11b) {
+		t.Fatal("row counts differ between worker counts")
+	}
+	for i := range rows8a {
+		if rows8a[i].KSDegree != rows8b[i].KSDegree || rows8a[i].KSPathLength != rows8b[i].KSPathLength {
+			t.Fatalf("figure 8 row %d differs between workers 1 and 4", i)
+		}
+	}
+	for i := range rows11a {
+		if rows11a[i] != rows11b[i] {
+			t.Fatalf("figure 11 row %d differs between workers 1 and 4", i)
+		}
+	}
+}

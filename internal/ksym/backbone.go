@@ -7,6 +7,7 @@ import (
 
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/intkey"
+	"ksymmetry/internal/parallel"
 	"ksymmetry/internal/partition"
 )
 
@@ -39,6 +40,16 @@ func Backbone(g *graph.Graph, p *partition.Partition) *BackboneResult {
 // chunky unit of work here) and returns the context's error as soon as
 // it fires.
 func BackboneCtx(ctx context.Context, g *graph.Graph, p *partition.Partition) (*BackboneResult, error) {
+	return BackboneWorkersCtx(ctx, g, p, 1)
+}
+
+// BackboneWorkersCtx is BackboneCtx with the per-cell component
+// classification of each reduction pass fanned out across `workers`
+// goroutines (0 or 1 = sequential, mirroring
+// automorphism.Options.Workers). Cells are independent within a pass —
+// the pairwise C_i ≅ C_j bucket tests never cross a cell boundary — so
+// the detected backbone is identical at every worker count.
+func BackboneWorkersCtx(ctx context.Context, g *graph.Graph, p *partition.Partition, workers int) (*BackboneResult, error) {
 	if p.N() != g.N() {
 		panic("ksym: partition does not match graph")
 	}
@@ -50,14 +61,14 @@ func BackboneCtx(ctx context.Context, g *graph.Graph, p *partition.Partition) (*
 		origOf[v] = v
 	}
 	for {
-		removed, err := backbonePass(ctx, cur, cellOf)
+		removed, nRemoved, err := backbonePass(ctx, cur, cellOf, workers)
 		if err != nil {
 			return nil, err
 		}
-		if len(removed) == 0 {
+		if nRemoved == 0 {
 			break
 		}
-		keep := make([]int, 0, cur.N()-len(removed))
+		keep := make([]int, 0, cur.N()-nRemoved)
 		for v := 0; v < cur.N(); v++ {
 			if !removed[v] {
 				keep = append(keep, v)
@@ -79,158 +90,193 @@ func BackboneCtx(ctx context.Context, g *graph.Graph, p *partition.Partition) (*
 	}, nil
 }
 
-// maxClassMultiplicity groups the components of g[cell] into ℒ(cell)
-// equivalence classes and returns the size of the largest class (1 for
-// a single-component cell).
-func maxClassMultiplicity(g *graph.Graph, p *partition.Partition, cell []int) int {
+// cellScratch holds vertex-indexed buffers one worker reuses across the
+// cells it classifies, replacing the per-cell map allocations (the old
+// map[int]bool inCell and map[int]string extSig). Entries touched for a
+// cell are cleared before the buffers are reused.
+type cellScratch struct {
+	inCell []bool
+	extSig []string
+}
+
+func (s *cellScratch) grow(n int) {
+	if len(s.inCell) < n {
+		s.inCell = make([]bool, n)
+		s.extSig = make([]string, n)
+	}
+}
+
+// classifyCell groups the connected components of g[cell] into
+// ℒ(cell)-equivalence classes: components isomorphic via a mapping that
+// preserves each vertex's neighborhood outside the cell. It returns the
+// components (as vertex sets of g, in ConnectedComponents order) and
+// each component's class index, assigned in first-seen order — so
+// component i is an orbit copy exactly when an earlier component shares
+// its class. tick, when non-nil, polls for cancellation amortized by
+// component size.
+func classifyCell(g *graph.Graph, cell []int, sc *cellScratch, tick *canceller) ([][]int, []int, error) {
 	sub, subOrig := g.InducedSubgraph(cell)
-	comps := sub.ConnectedComponents()
-	if len(comps) <= 1 {
-		return 1
+	subComps := sub.ConnectedComponents()
+	if len(subComps) <= 1 {
+		orig := append([]int(nil), cell...)
+		return [][]int{orig}, []int{0}, nil
 	}
-	inCell := make(map[int]bool, len(cell))
+	sc.grow(g.N())
+	// External signature of each cell vertex: its neighbors outside the
+	// cell. ℒ(V)-matched vertices must have identical ones.
 	for _, v := range cell {
-		inCell[v] = true
+		sc.inCell[v] = true
 	}
-	extSig := map[int]string{}
 	for _, v := range cell {
 		var ext []int
 		for _, u := range g.Neighbors(v) {
-			if !inCell[u] {
+			if !sc.inCell[u] {
 				ext = append(ext, u)
 			}
 		}
-		extSig[v] = intkey.Of(ext)
+		sc.extSig[v] = intkey.Of(ext)
 	}
+	defer func() {
+		for _, v := range cell {
+			sc.inCell[v] = false
+			sc.extSig[v] = ""
+		}
+	}()
 	type comp struct {
-		sub  *graph.Graph
-		orig []int
+		sub    *graph.Graph
+		orig   []int // component index -> vertex of g
+		sigBag string
 	}
 	build := func(c []int) comp {
 		cg, cOrig := sub.InducedSubgraph(c)
 		orig := make([]int, len(cOrig))
+		sigs := make([]string, len(cOrig))
 		for i, sv := range cOrig {
 			orig[i] = subOrig[sv]
+			sigs[i] = sc.extSig[orig[i]]
 		}
-		return comp{sub: cg, orig: orig}
+		sort.Strings(sigs)
+		return comp{sub: cg, orig: orig, sigBag: intkey.Join(sigs)}
 	}
+	comps := make([][]int, 0, len(subComps))
+	class := make([]int, 0, len(subComps))
 	var reps []comp
-	counts := []int{}
-	for _, c := range comps {
+	repClass := []int{}
+	nextClass := 0
+	for _, c := range subComps {
+		// A cell can hold millions of tiny copied components; poll
+		// amortized by component size so a pass never runs more than
+		// ~4096 vertices past a cancellation.
+		if tick != nil {
+			if err := tick.tick(len(c)); err != nil {
+				return nil, nil, err
+			}
+		}
 		cand := build(c)
-		matched := false
+		cls := -1
 		for ri, r := range reps {
-			if r.sub.N() != cand.sub.N() || r.sub.M() != cand.sub.M() {
+			if r.sub.N() != cand.sub.N() || r.sub.M() != cand.sub.M() || r.sigBag != cand.sigBag {
 				continue
 			}
 			_, ok := graph.IsomorphicConstrained(cand.sub, r.sub, func(u, v int) bool {
-				return extSig[cand.orig[u]] == extSig[r.orig[v]]
+				return sc.extSig[cand.orig[u]] == sc.extSig[r.orig[v]]
 			})
 			if ok {
-				counts[ri]++
-				matched = true
+				cls = repClass[ri]
 				break
 			}
 		}
-		if !matched {
+		if cls < 0 {
+			cls = nextClass
+			nextClass++
 			reps = append(reps, cand)
-			counts = append(counts, 1)
+			repClass = append(repClass, cls)
 		}
+		comps = append(comps, cand.orig)
+		class = append(class, cls)
 	}
+	return comps, class, nil
+}
+
+// maxClassMultiplicity groups the components of g[cell] into ℒ(cell)
+// equivalence classes and returns the size of the largest class (1 for
+// a single-component cell). sc is the caller's reusable scratch.
+func maxClassMultiplicity(g *graph.Graph, cell []int, sc *cellScratch) int {
+	comps, class, _ := classifyCell(g, cell, sc, nil)
+	counts := make([]int, len(comps))
 	max := 1
-	for _, c := range counts {
-		if c > max {
-			max = c
+	for _, cls := range class {
+		counts[cls]++
+		if counts[cls] > max {
+			max = counts[cls]
 		}
 	}
 	return max
 }
 
+// backboneWorkers resolves the Workers knob with the same semantics as
+// automorphism.Options.Workers: 0 or 1 means sequential.
+func backboneWorkers(w int) int {
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
 // backbonePass performs one sweep over all cells, marking components
-// that are ℒ(V)-copies of a kept component in the same cell. It returns
-// the set of vertices to remove (empty when at a fixpoint), stopping
+// that are ℒ(V)-copies of a kept component in the same cell. Cells are
+// classified concurrently across `workers` goroutines — the pairwise
+// component bucket tests never cross a cell boundary, and each worker
+// reuses its own vertex-indexed scratch — so the removal set is
+// identical at every worker count. It returns a vertex-indexed removal
+// mask with the number of marked vertices (0 at a fixpoint), stopping
 // early with the context's error when it fires.
-func backbonePass(ctx context.Context, g *graph.Graph, cellOf []int) (map[int]bool, error) {
+func backbonePass(ctx context.Context, g *graph.Graph, cellOf []int, workers int) ([]bool, int, error) {
 	cells := partition.FromCellOf(cellOf)
-	removed := map[int]bool{}
+	var work [][]int
 	for ci := 0; ci < cells.NumCells(); ci++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cell := cells.Cell(ci)
-		if len(cell) == 1 {
-			continue
-		}
-		sub, subOrig := g.InducedSubgraph(cell)
-		comps := sub.ConnectedComponents()
-		if len(comps) == 1 {
-			continue
-		}
-		// External signature of each cell vertex: its neighbors outside
-		// the cell. ℒ(V)-matched vertices must have identical ones.
-		inCell := make(map[int]bool, len(cell))
-		for _, v := range cell {
-			inCell[v] = true
-		}
-		extSig := map[int]string{}
-		for _, v := range cell {
-			var ext []int
-			for _, u := range g.Neighbors(v) {
-				if !inCell[u] {
-					ext = append(ext, u)
-				}
-			}
-			extSig[v] = intkey.Of(ext)
-		}
-		type comp struct {
-			sub    *graph.Graph
-			orig   []int // component index -> vertex of g
-			sigBag string
-		}
-		build := func(c []int) comp {
-			cg, cOrig := sub.InducedSubgraph(c)
-			orig := make([]int, len(cOrig))
-			sigs := make([]string, len(cOrig))
-			for i, sv := range cOrig {
-				orig[i] = subOrig[sv]
-				sigs[i] = extSig[orig[i]]
-			}
-			sort.Strings(sigs)
-			return comp{sub: cg, orig: orig, sigBag: intkey.Join(sigs)}
-		}
-		var kept []comp
-		tick := canceller{ctx: ctx}
-		for _, c := range comps {
-			// A cell can hold millions of tiny copied components; poll
-			// amortized by component size so a pass never runs more than
-			// ~4096 vertices past a cancellation.
-			if err := tick.tick(len(c)); err != nil {
-				return nil, err
-			}
-			cand := build(c)
-			isCopy := false
-			for _, k := range kept {
-				if k.sub.N() != cand.sub.N() || k.sub.M() != cand.sub.M() || k.sigBag != cand.sigBag {
-					continue
-				}
-				_, ok := graph.IsomorphicConstrained(cand.sub, k.sub, func(u, v int) bool {
-					return extSig[cand.orig[u]] == extSig[k.orig[v]]
-				})
-				if ok {
-					isCopy = true
-					break
-				}
-			}
-			if isCopy {
-				for _, v := range cand.orig {
-					removed[v] = true
-				}
-			} else {
-				kept = append(kept, cand)
-			}
+		if cell := cells.Cell(ci); len(cell) > 1 {
+			work = append(work, cell)
 		}
 	}
-	return removed, nil
+	removed := make([]bool, g.N())
+	counts := make([]int, len(work))
+	workers = parallel.Resolve(backboneWorkers(workers), len(work))
+	scratch := make([]*cellScratch, workers)
+	err := parallel.ForEach(ctx, workers, len(work), func(ctx context.Context, wid, wi int) error {
+		sc := scratch[wid]
+		if sc == nil {
+			sc = &cellScratch{}
+			scratch[wid] = sc
+		}
+		tick := canceller{ctx: ctx}
+		comps, class, err := classifyCell(g, work[wi], sc, &tick)
+		if err != nil {
+			return err
+		}
+		// Cells are disjoint vertex sets, so concurrent workers write
+		// disjoint entries of the shared removal mask.
+		seen := make([]bool, len(comps))
+		for ci, c := range comps {
+			if seen[class[ci]] {
+				for _, v := range c {
+					removed[v] = true
+				}
+				counts[wi] += len(c)
+			} else {
+				seen[class[ci]] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return removed, total, nil
 }
 
 // MinimalAnonymize implements the §5.1 optimization: anonymize the
@@ -275,6 +321,7 @@ func MinimalAnonymizeFCtx(ctx context.Context, g *graph.Graph, orb *partition.Pa
 	}
 	res := &Result{OriginalN: g.N(), OriginalM: g.M()}
 	tick := canceller{ctx: ctx}
+	sc := &cellScratch{}
 	for i := 0; i < bb.Partition.NumCells(); i++ {
 		bcell := bb.Partition.Cell(i)
 		// The matching cell of G: orb's cell containing the backbone
@@ -290,7 +337,7 @@ func MinimalAnonymizeFCtx(ctx context.Context, g *graph.Graph, orb *partition.Pa
 		// (usually just ⌈|gcell|/|bcell|⌉; they differ only when a cell
 		// mixes classes with unequal counts).
 		copies := (want + len(bcell) - 1) / len(bcell) // ceil(want/|bcell|)
-		if mc := maxClassMultiplicity(g, orb, gcell); mc > copies {
+		if mc := maxClassMultiplicity(g, gcell, sc); mc > copies {
 			copies = mc
 		}
 		for c := 1; c < copies; c++ {

@@ -1,12 +1,14 @@
 package ksym
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
 	"ksymmetry/internal/automorphism"
 	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/graph"
+	"ksymmetry/internal/refine"
 )
 
 func TestBackboneFig7a(t *testing.T) {
@@ -180,5 +182,38 @@ func TestPropertyMinimalNeverWorse(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBackboneWorkersDeterministic: concurrent per-cell classification
+// must reduce to exactly the same backbone as the sequential pass —
+// cells are independent, so only the schedule changes.
+func TestBackboneWorkersDeterministic(t *testing.T) {
+	g := datasets.ErdosRenyiGM(300, 500, 13)
+	p := refine.TotalDegreePartition(g)
+	res, err := Anonymize(g, p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BackboneWorkersCtx(context.Background(), res.Graph, res.Partition, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		bb, err := BackboneWorkersCtx(context.Background(), res.Graph, res.Partition, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bb.Graph.Equal(base.Graph) {
+			t.Fatalf("workers=%d: backbone graph differs from sequential pass", workers)
+		}
+		if len(bb.OrigOf) != len(base.OrigOf) {
+			t.Fatalf("workers=%d: OrigOf length %d vs %d", workers, len(bb.OrigOf), len(base.OrigOf))
+		}
+		for i := range bb.OrigOf {
+			if bb.OrigOf[i] != base.OrigOf[i] {
+				t.Fatalf("workers=%d: OrigOf[%d] = %d, want %d", workers, i, bb.OrigOf[i], base.OrigOf[i])
+			}
+		}
 	}
 }

@@ -1,0 +1,139 @@
+// Package parallel provides the bounded, deterministic worker pool
+// shared by the sampling batch layer, the experiment runners, and the
+// concurrent backbone classification (DESIGN.md §7).
+//
+// The pool's contract is built for reproducibility: job i's work must
+// depend only on i (never on which worker runs it or in what order), so
+// every fan-out produces byte-identical results regardless of the
+// worker count. The helpers here enforce the other half of the
+// contract — results are collected in input order, and the error
+// returned for a failed fan-out is selected deterministically (the
+// lowest-index non-cancellation error) rather than by goroutine race.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Resolve returns the effective worker count for n jobs: workers ≤ 0
+// selects runtime.GOMAXPROCS(0), and the count never exceeds n (no idle
+// goroutines are spawned).
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs f for every index in [0, n) on at most `workers`
+// goroutines (0 = GOMAXPROCS). wid identifies the executing worker
+// (0 ≤ wid < workers) so callers can maintain per-worker scratch
+// without locking; job results must not depend on wid.
+//
+// The first failure cancels the context passed to the remaining jobs,
+// and unstarted jobs are skipped. After the pool drains, the error
+// returned is the lowest-index error that is not a bare cancellation —
+// so the root cause of an aborted fan-out is reported instead of a
+// sibling's context.Canceled — falling back to the lowest-index error
+// when every failure is a cancellation. With workers == 1 (or n ≤ 1)
+// the jobs run inline on the calling goroutine in index order, with no
+// pool overhead.
+func ForEach(ctx context.Context, workers, n int, f func(ctx context.Context, wid, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, 0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next int
+		mu   sync.Mutex
+		errs = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(wid int) {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 || pctx.Err() != nil {
+					return
+				}
+				if err := f(pctx, wid, i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var firstAny error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstAny == nil {
+			firstAny = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	if firstAny != nil {
+		return firstAny
+	}
+	// Every started job succeeded, but the caller's context may have
+	// fired after the last claim.
+	return ctx.Err()
+}
+
+// Map runs f for every index in [0, n) under ForEach's scheduling and
+// error contract and returns the results in input order. On error the
+// result slice is nil.
+func Map[T any](ctx context.Context, workers, n int, f func(ctx context.Context, wid, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, wid, i int) error {
+		v, err := f(ctx, wid, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolve(t *testing.T) {
+	if w := Resolve(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0, 100) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Resolve(8, 3); w != 3 {
+		t.Fatalf("Resolve(8, 3) = %d, want 3 (capped at job count)", w)
+	}
+	if w := Resolve(-1, 0); w != 1 {
+		t.Fatalf("Resolve(-1, 0) = %d, want 1", w)
+	}
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		out, err := Map(context.Background(), workers, 100, func(_ context.Context, _, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	var ran [200]int32
+	err := ForEach(context.Background(), 7, len(ran), func(_ context.Context, _, i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachReturnsRealErrorNotSiblingCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 4, 50, func(ctx context.Context, _, i int) error {
+		if i == 10 {
+			return boom
+		}
+		// Jobs that observe the internal cancellation report it, like a
+		// ctx-aware kernel would; the pool must still surface `boom`.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+			return nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var started int32
+	err := ForEach(context.Background(), 2, 1000, func(_ context.Context, _, i int) error {
+		atomic.AddInt32(&started, 1)
+		return fmt.Errorf("fail %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := atomic.LoadInt32(&started); n > 10 {
+		t.Fatalf("%d jobs started after the first failure", n)
+	}
+}
+
+func TestForEachHonorsCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 100, func(ctx context.Context, _, i int) error {
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachWorkerIDsWithinBounds(t *testing.T) {
+	const workers = 4
+	err := ForEach(context.Background(), workers, 100, func(_ context.Context, wid, _ int) error {
+		if wid < 0 || wid >= workers {
+			return fmt.Errorf("worker id %d out of [0,%d)", wid, workers)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachInlineFastPathSequential(t *testing.T) {
+	// workers=1 must run in index order on the calling goroutine.
+	last := -1
+	err := ForEach(context.Background(), 1, 50, func(_ context.Context, wid, i int) error {
+		if wid != 0 {
+			return fmt.Errorf("inline path used worker id %d", wid)
+		}
+		if i != last+1 {
+			return fmt.Errorf("out of order: %d after %d", i, last)
+		}
+		last = i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

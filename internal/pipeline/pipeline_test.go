@@ -188,3 +188,45 @@ func TestGuaranteeStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestPublishSamples: Config.Samples makes the publish stage draw a
+// batch even without a Sink, and the batch is identical at every
+// Workers value.
+func TestPublishSamples(t *testing.T) {
+	run := func(workers int) *Result {
+		res, err := Run(context.Background(), Config{
+			Graph: datasets.Fig3(), K: 3,
+			Samples: 5, SampleSeed: 11, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	if len(base.Samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(base.Samples))
+	}
+	if base.StageDuration("publish") <= 0 {
+		t.Fatal("publish stage has no recorded duration")
+	}
+	for _, s := range base.Samples {
+		if s.N() < base.Graph.N() {
+			t.Fatalf("sample has %d vertices, want ≥ %d", s.N(), base.Graph.N())
+		}
+	}
+	other := run(4)
+	for i := range base.Samples {
+		if !base.Samples[i].Equal(other.Samples[i]) {
+			t.Fatalf("sample %d differs between workers 1 and 4", i)
+		}
+	}
+	// Without Samples and without a Sink, the stage is skipped entirely.
+	res, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 0 || res.StageDuration("publish") != 0 {
+		t.Fatal("publish stage ran without a sink or sample request")
+	}
+}

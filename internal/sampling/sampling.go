@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/ksym"
@@ -21,6 +22,17 @@ import (
 // samplers' loops (budget distribution, regrow copies, DFS steps).
 const ctxCheckWork = 4096
 
+// Sampler selects which algorithm a Batch runs per sample.
+type Sampler int
+
+const (
+	// SamplerApproximate is the quota-guided DFS sampler
+	// (Algorithms 4 and 5), the default.
+	SamplerApproximate Sampler = iota
+	// SamplerExact is the backbone-regrow sampler (Algorithm 3).
+	SamplerExact
+)
+
 // Options configures a sampler.
 type Options struct {
 	// Probabilities is p[1..|𝒱'|]: the chance of assigning the next
@@ -28,8 +40,21 @@ type Options struct {
 	// inverse-degree weights (§4.2.2): real networks are right-skewed,
 	// so low-degree cells receive proportionally more of the budget.
 	Probabilities []float64
-	// Rng drives all random choices; it must not be nil.
+	// Rng drives all random choices of a single-sample call (Exact,
+	// Approximate); it must not be nil there. Batch derives per-sample
+	// RNGs from Seed instead and requires Rng to be nil.
 	Rng *rand.Rand
+	// Seed is the base seed of a Batch call: sample i draws from an RNG
+	// seeded with DeriveSeed(Seed, i), so the batch's output is
+	// byte-identical at every worker count. Ignored by Exact and
+	// Approximate, which take Rng.
+	Seed int64
+	// Parallelism bounds the worker pool of a Batch call; 0 selects
+	// GOMAXPROCS. Ignored by Exact and Approximate.
+	Parallelism int
+	// Method selects the algorithm a Batch runs per sample
+	// (SamplerApproximate by default). Ignored by Exact and Approximate.
+	Method Sampler
 }
 
 // InverseDegreeProbabilities returns the §4.2.2 default weights
@@ -67,6 +92,12 @@ func (o *Options) validate(g *graph.Graph, p *partition.Partition) ([]float64, e
 	if o == nil || o.Rng == nil {
 		return nil, fmt.Errorf("sampling: Options.Rng is required")
 	}
+	return o.resolveProbs(g, p)
+}
+
+// resolveProbs returns the per-cell budget weights — the caller's, or
+// the inverse-degree default — validated against the partition.
+func (o *Options) resolveProbs(g *graph.Graph, p *partition.Partition) ([]float64, error) {
 	if p.NumCells() == 0 {
 		return nil, fmt.Errorf("sampling: partition has no cells")
 	}
@@ -80,34 +111,83 @@ func (o *Options) validate(g *graph.Graph, p *partition.Partition) ([]float64, e
 	return probs, nil
 }
 
-// pickWeighted draws an index from the eligible set with probability
-// proportional to probs, or -1 when no index is eligible.
-func pickWeighted(rng *rand.Rand, probs []float64, eligible func(i int) bool) int {
+// pickerMaxRejects bounds how many ineligible draws a weightedPicker
+// tolerates before rebuilding its cumulative table over the current
+// eligible set. Rejection keeps a draw O(log cells) while the eligible
+// set shrinks slowly; the rebuild caps the tail when most retained
+// weight has become ineligible.
+const pickerMaxRejects = 16
+
+// weightedPicker draws cell indices with probability proportional to
+// fixed weights among a shrinking eligible subset. It replaces the
+// former per-draw O(cells) linear scan: the cumulative-weight table is
+// built once (and rebuilt only after pickerMaxRejects consecutive
+// ineligible draws), so a draw is a binary search plus expected O(1)
+// rejections — O(n·log cells) over a whole sample instead of
+// O(n·cells).
+type weightedPicker struct {
+	probs    []float64
+	eligible func(i int) bool
+	cells    []int     // eligible cell ids at the last rebuild
+	cum      []float64 // cum[j] = Σ probs[cells[0..j]]
+}
+
+func newWeightedPicker(probs []float64, eligible func(i int) bool) *weightedPicker {
+	wp := &weightedPicker{
+		probs:    probs,
+		eligible: eligible,
+		cells:    make([]int, 0, len(probs)),
+		cum:      make([]float64, 0, len(probs)),
+	}
+	wp.rebuild()
+	return wp
+}
+
+func (wp *weightedPicker) rebuild() {
+	wp.cells = wp.cells[:0]
+	wp.cum = wp.cum[:0]
 	total := 0.0
-	for i, w := range probs {
-		if eligible(i) {
+	for i, w := range wp.probs {
+		if wp.eligible(i) {
 			total += w
+			wp.cells = append(wp.cells, i)
+			wp.cum = append(wp.cum, total)
 		}
 	}
-	if total <= 0 {
-		return -1
+}
+
+func (wp *weightedPicker) total() float64 {
+	if len(wp.cum) == 0 {
+		return 0
 	}
-	x := rng.Float64() * total
-	for i, w := range probs {
-		if !eligible(i) {
-			continue
+	return wp.cum[len(wp.cum)-1]
+}
+
+// pick draws an eligible cell with probability proportional to its
+// weight, or -1 when no eligible cell carries positive weight (the
+// same exhaustion condition as the linear scan it replaces).
+func (wp *weightedPicker) pick(rng *rand.Rand) int {
+	for rebuilt := false; ; rebuilt = true {
+		if total := wp.total(); total > 0 {
+			for try := 0; try < pickerMaxRejects; try++ {
+				x := rng.Float64() * total
+				j := sort.SearchFloat64s(wp.cum, x)
+				if j >= len(wp.cum) {
+					j = len(wp.cum) - 1
+				}
+				if i := wp.cells[j]; wp.eligible(i) {
+					return i
+				}
+			}
 		}
-		x -= w
-		if x <= 0 {
-			return i
+		if rebuilt {
+			return -1
+		}
+		wp.rebuild()
+		if wp.total() <= 0 {
+			return -1
 		}
 	}
-	for i := len(probs) - 1; i >= 0; i-- {
-		if eligible(i) {
-			return i
-		}
-	}
-	return -1
 }
 
 // Exact implements Algorithm 3: detect the backbone of (G',𝒱'), then
@@ -133,7 +213,10 @@ func ExactCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partition, n i
 	if n < 1 || n > gp.N() {
 		return nil, fmt.Errorf("sampling: target size %d outside [1,%d]", n, gp.N())
 	}
-	bb, err := ksym.BackboneCtx(ctx, gp, vp)
+	// Workers ≥ 2 also parallelize the backbone detection's per-cell
+	// classification; Batch leaves this at 0 per sample, since samples
+	// already occupy the pool.
+	bb, err := ksym.BackboneWorkersCtx(ctx, gp, vp, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -148,20 +231,22 @@ func ExactCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partition, n i
 	}
 	cpn := make([]int, bb.Partition.NumCells())
 	budget := n - bb.Graph.N()
+	picker := newWeightedPicker(bprobs, func(i int) bool {
+		bi := len(bb.Partition.Cell(i))
+		return (cpn[i]+2)*bi <= len(vp.Cell(cellOfB[i]))
+	})
 	draws := 0
 	for budget > 0 {
-		// Each draw scans all cells in pickWeighted; poll amortized so a
-		// pathological many-cell release stays cancellable.
+		// Each draw is a binary search (plus occasional table rebuilds);
+		// poll amortized so a pathological many-cell release stays
+		// cancellable.
 		draws++
 		if draws%ctxCheckWork == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		i := pickWeighted(opts.Rng, bprobs, func(i int) bool {
-			bi := len(bb.Partition.Cell(i))
-			return (cpn[i]+2)*bi <= len(vp.Cell(cellOfB[i]))
-		})
+		i := picker.pick(opts.Rng)
 		if i < 0 {
 			break // no cell can grow further within the published sizes
 		}
@@ -224,6 +309,7 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 		s[i] = 1
 	}
 	budget := n - vp.NumCells()
+	picker := newWeightedPicker(probs, func(i int) bool { return s[i] < len(vp.Cell(i)) })
 	draws := 0
 	for budget > 0 {
 		draws++
@@ -232,7 +318,7 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 				return nil, err
 			}
 		}
-		i := pickWeighted(rng, probs, func(i int) bool { return s[i] < len(vp.Cell(i)) })
+		i := picker.pick(rng)
 		if i < 0 {
 			break
 		}

@@ -7,10 +7,12 @@
 package stats
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"ksymmetry/internal/graph"
+	"ksymmetry/internal/parallel"
 )
 
 // Sample is an empirical sample of a scalar network statistic, kept
@@ -160,14 +162,23 @@ func GlobalClustering(g *graph.Graph) float64 {
 // initial degree, the Albert-Jeong-Barabási attack of §4.3's
 // "Resiliency" panel).
 func Resilience(g *graph.Graph, fracs []float64) []float64 {
+	out, _ := ResilienceCtx(context.Background(), g, fracs, 1)
+	return out
+}
+
+// ResilienceCtx is Resilience with the per-fraction subgraph passes —
+// each an independent removal, induced subgraph, and component sweep —
+// fanned out across `workers` goroutines (0 = GOMAXPROCS, 1 =
+// sequential). The series is written by fraction index, so the result
+// is identical at every worker count.
+func ResilienceCtx(ctx context.Context, g *graph.Graph, fracs []float64, workers int) ([]float64, error) {
 	order := g.VerticesByDegreeDesc()
-	out := make([]float64, len(fracs))
-	for i, f := range fracs {
-		m := int(float64(g.N())*f + 0.5)
+	return parallel.Map(ctx, workers, len(fracs), func(_ context.Context, _, i int) (float64, error) {
+		m := int(float64(g.N())*fracs[i] + 0.5)
 		if m > g.N() {
 			m = g.N()
 		}
-		removed := make(map[int]bool, m)
+		removed := make([]bool, g.N())
 		for _, v := range order[:m] {
 			removed[v] = true
 		}
@@ -178,13 +189,11 @@ func Resilience(g *graph.Graph, fracs []float64) []float64 {
 			}
 		}
 		if len(keep) == 0 {
-			out[i] = 0
-			continue
+			return 0, nil
 		}
 		sub, _ := g.InducedSubgraph(keep)
-		out[i] = float64(sub.LargestComponentSize()) / float64(g.N())
-	}
-	return out
+		return float64(sub.LargestComponentSize()) / float64(g.N()), nil
+	})
 }
 
 // Merge pools several samples into one — the cross-sample aggregation

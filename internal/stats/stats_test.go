@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -210,5 +211,25 @@ func TestSummarize(t *testing.T) {
 	}
 	if math.Abs(s.AvgDeg-1.6) > 1e-12 {
 		t.Fatalf("avg degree = %v, want 1.6", s.AvgDeg)
+	}
+}
+
+// TestResilienceCtxMatchesSequential: the fanned-out resilience series
+// must equal the sequential one at every worker count (each fraction's
+// pass is independent and written by index).
+func TestResilienceCtxMatchesSequential(t *testing.T) {
+	g := datasets.ErdosRenyiGM(200, 400, 5)
+	fracs := []float64{0, 0.1, 0.2, 0.3, 0.5}
+	want := Resilience(g, fracs)
+	for _, workers := range []int{2, 4, 8} {
+		got, err := ResilienceCtx(context.Background(), g, fracs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: resilience[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
 	}
 }
