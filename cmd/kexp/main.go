@@ -21,6 +21,7 @@ import (
 
 	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/experiments"
+	"ksymmetry/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,32 @@ func main() {
 		quick        = flag.Bool("quick", false, "reduced sample counts for a fast pass")
 		orbitTimeout = flag.Duration("orbit-timeout", 0, "cap per-network orbit computation; a slow network degrades to 𝒯𝒟𝒱(G) instead of stalling the sweep (0 = none)")
 		workers      = flag.Int("workers", 0, "worker pool for experiment fan-out and sampling batches; results are identical at every value (0 = GOMAXPROCS)")
+		metricsOut   = flag.String("metrics", "", "dump kernel metrics as JSON to this path at exit (\"-\" = stdout); enables observability")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
 	)
 	flag.Parse()
+
+	if *metricsOut != "" || *pprofAddr != "" {
+		obs.Enable()
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	// dumpMetrics runs before every exit path, so an interrupted or
+	// failed sweep still reports the counters it accumulated.
+	dumpMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := obs.DumpFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "kexp: metrics dump:", err)
+		}
+	}
 
 	// Ctrl-C cancels the sweep between (and inside) experiments.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -80,6 +105,7 @@ func main() {
 		found = true
 		start := time.Now()
 		if err := r.run(); err != nil {
+			dumpMetrics()
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "kexp: %s interrupted after %v\n", r.name, time.Since(start).Round(time.Millisecond))
 				os.Exit(130)
@@ -101,4 +127,5 @@ func main() {
 			fmt.Fprintf(os.Stderr, "partition %-10s %s\n", name, mode)
 		}
 	}
+	dumpMetrics()
 }

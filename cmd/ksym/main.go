@@ -32,6 +32,7 @@ import (
 	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/obs"
 	"ksymmetry/internal/pipeline"
 	"ksymmetry/internal/publish"
 )
@@ -52,8 +53,22 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker pool for the orbit search and publish-stage sampling (0 = GOMAXPROCS for sampling, sequential search)")
 		samples     = flag.Int("samples", 0, "draw this many approximate samples in the publish stage (deterministic in -seed, independent of -workers)")
 		samplesDir  = flag.String("samples-dir", "", "write publish-stage samples as sample_<i>.edges here (requires -samples)")
+		metricsOut  = flag.String("metrics", "", "dump kernel metrics as JSON to this path at exit (\"-\" = stdout); enables observability")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
 	)
 	flag.Parse()
+
+	if *metricsOut != "" || *pprofAddr != "" {
+		obs.Enable()
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksym:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
 
 	// Ctrl-C cancels the pipeline instead of killing the process, so a
 	// long run still reports how far it got.
@@ -78,12 +93,19 @@ func main() {
 	if *useTDP {
 		cfg.StartMode = pipeline.ModeTDV
 	}
+	res, err := (*pipeline.Result)(nil), error(nil)
 	if *excludeHubs > 0 {
-		res, err := runWithHubTarget(ctx, cfg, *excludeHubs, *k)
-		report(res, err)
-		return
+		res, err = runWithHubTarget(ctx, cfg, *excludeHubs, *k)
+	} else {
+		res, err = pipeline.Run(ctx, cfg)
 	}
-	res, err := pipeline.Run(ctx, cfg)
+	// Dump metrics before report, which exits the process on failure —
+	// a failed run's partial counters are exactly what -metrics is for.
+	if *metricsOut != "" {
+		if derr := obs.DumpFile(*metricsOut); derr != nil {
+			fmt.Fprintln(os.Stderr, "ksym: metrics dump:", derr)
+		}
+	}
 	report(res, err)
 }
 

@@ -1,0 +1,32 @@
+package automorphism
+
+import "ksymmetry/internal/obs"
+
+// The "search" scope counts the work of the individualization-
+// refinement automorphism search — the hottest combinatorial kernel in
+// the repo (DESIGN.md §8). All counters are flushed from local tallies
+// at bounded points (once per pairwise search), so the hot backtracking
+// loop carries plain integer increments only.
+var (
+	// obsNodes is the number of backtracking nodes expanded across all
+	// pairwise searches (the unit the node budget is charged in).
+	obsNodes = obs.Default.Scope("search").Counter("nodes")
+	// obsScans counts candidate-scan steps: for each expanded node, the
+	// size of the color class scanned for extensions.
+	obsScans = obs.Default.Scope("search").Counter("candidate_scans")
+	// obsBacktracks counts undone assignments (a candidate was mapped,
+	// its subtree failed, and the mapping was retracted).
+	obsBacktracks = obs.Default.Scope("search").Counter("backtracks")
+	// obsPairs counts pairwise findMapping searches started.
+	obsPairs = obs.Default.Scope("search").Counter("pair_searches")
+	// obsExhausted counts searches that gave up on ErrBudgetExceeded
+	// (fast-path retries and hard failures both count: each is a search
+	// that burned its whole budget).
+	obsExhausted = obs.Default.Scope("search").Counter("budget_exhausted")
+	// obsRestores counts Refiner Restore+Individualize round trips (the
+	// slow path of findMapping re-refining off the saved base state).
+	obsRestores = obs.Default.Scope("search").Counter("refiner_restores")
+	// obsTwinPairs counts vertex pairs collapsed by the twin pre-pass,
+	// before any search ran.
+	obsTwinPairs = obs.Default.Scope("search").Counter("twin_pairs")
+)

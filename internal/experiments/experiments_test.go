@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/graph"
 	"ksymmetry/internal/pipeline"
 )
 
@@ -301,5 +303,41 @@ func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
 		if rows11a[i] != rows11b[i] {
 			t.Fatalf("figure 11 row %d differs between workers 1 and 4", i)
 		}
+	}
+}
+
+// injectNetwork seeds the environment's graph cache with a synthetic
+// network under a name outside datasets.NetworkNames(), so tests can
+// push pathological graphs through the real experiment runners.
+func (e *Env) injectNetwork(name string, g *graph.Graph) {
+	ent := &graphEntry{g: g}
+	ent.once.Do(func() {}) // consume the once so Graph() won't overwrite
+	e.mu.Lock()
+	e.graphs[name] = ent
+	e.mu.Unlock()
+}
+
+// Regression: a fragmented network used to panic the utility sweep.
+// PathLengthSample returns an empty sample when no sampled pair is
+// connected, and figure8Row fed that straight into KolmogorovSmirnov
+// ("stats: KS statistic of empty sample"). The KS distances involving
+// path lengths must instead come back 0.
+func TestFigure8DisconnectedGraphNoPanic(t *testing.T) {
+	// Eight isolated vertices: every vertex pair is disconnected, so the
+	// original graph's path-length sample — and every sampled graph's —
+	// is empty.
+	e := NewEnv(datasets.DefaultSeed)
+	e.injectNetwork("fragments", graph.New(8))
+	row, err := figure8Row(context.Background(), e, "fragments", 0, 2, 3, 5)
+	if err != nil {
+		t.Fatalf("figure8Row on disconnected graph: %v", err)
+	}
+	if row.KSPathLength != 0 {
+		t.Fatalf("KS(path) on disconnected graph = %v, want 0", row.KSPathLength)
+	}
+	// Degree and clustering samples are never empty (one value per
+	// vertex), so those KS distances are still real numbers in [0, 1].
+	if row.KSDegree < 0 || row.KSDegree > 1 {
+		t.Fatalf("KS(degree) = %v, want within [0, 1]", row.KSDegree)
 	}
 }

@@ -61,7 +61,7 @@ func ExtendedUtility(w io.Writer, e *Env, k, samples int) ([]ExtRow, error) {
 		}
 		return ExtRow{
 			Network: name, K: k, Samples: samples,
-			KSBetweenness:     stats.KolmogorovSmirnov(origB, stats.Merge(bs)),
+			KSBetweenness:     safeKS(origB, stats.Merge(bs)),
 			AssortativityOrig: stats.DegreeAssortativity(g),
 			AssortativitySamp: assort,
 		}, nil

@@ -17,6 +17,18 @@ import (
 // "Resiliency" panel.
 var resilienceFracs = []float64{0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6}
 
+// safeKS is KolmogorovSmirnov with the empty-sample precondition handled
+// here instead of by panic: path-length samples are legitimately empty
+// on fragmented graphs (PathLengthSample skips disconnected pairs), and
+// one such sample must not abort a whole sweep. No observations means no
+// measurable distance, reported as 0.
+func safeKS(a, b stats.Sample) float64 {
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	return stats.KolmogorovSmirnov(a, b)
+}
+
 // Fig8Row summarizes the utility preservation panels of Figure 8 for
 // one network: KS distances between the original graph's distributions
 // and the pooled distributions of the sampled graphs, plus both
@@ -114,9 +126,9 @@ func figure8Row(ctx context.Context, e *Env, name string, ni, k, samples, pathPa
 	}
 	row := Fig8Row{
 		Network: name, K: k, Samples: samples,
-		KSDegree:            stats.KolmogorovSmirnov(origDeg, stats.Merge(degS)),
-		KSPathLength:        stats.KolmogorovSmirnov(origPath, stats.Merge(pathS)),
-		KSClustering:        stats.KolmogorovSmirnov(origClust, stats.Merge(clustS)),
+		KSDegree:            safeKS(origDeg, stats.Merge(degS)),
+		KSPathLength:        safeKS(origPath, stats.Merge(pathS)),
+		KSClustering:        safeKS(origClust, stats.Merge(clustS)),
 		ResilienceOrig:      origRes,
 		ResilienceSampled:   resAgg,
 		OriginalMeanDegree:  origDeg.Mean(),
@@ -224,8 +236,8 @@ func Figure9(w io.Writer, e *Env, ks []int, maxSamples, pathPairs int, counts []
 		sr := fig9Series{ksDeg: make([]float64, maxSamples), ksPath: make([]float64, maxSamples)}
 		err = parallel.ForEach(ctx, e.Workers, len(sampleGraphs), func(_ context.Context, _, i int) error {
 			s := sampleGraphs[i]
-			sr.ksDeg[i] = stats.KolmogorovSmirnov(origDeg, stats.DegreeSample(s))
-			sr.ksPath[i] = stats.KolmogorovSmirnov(origPath, stats.PathLengthSample(s, pathPairs, rng(pathSeed, i)))
+			sr.ksDeg[i] = safeKS(origDeg, stats.DegreeSample(s))
+			sr.ksPath[i] = safeKS(origPath, stats.PathLengthSample(s, pathPairs, rng(pathSeed, i)))
 			return nil
 		})
 		if err != nil {
@@ -331,8 +343,8 @@ func SamplerComparison(w io.Writer, e *Env, k, samples, pathPairs int) ([]Compar
 		}
 		return CompareRow{
 			Network: name, Sampler: c.sampler, Weights: c.weights,
-			KSDegree:     stats.KolmogorovSmirnov(origDeg, stats.Merge(degS)),
-			KSPathLength: stats.KolmogorovSmirnov(origPath, stats.Merge(pathS)),
+			KSDegree:     safeKS(origDeg, stats.Merge(degS)),
+			KSPathLength: safeKS(origPath, stats.Merge(pathS)),
 		}, nil
 	})
 	if err != nil {

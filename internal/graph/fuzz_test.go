@@ -16,6 +16,9 @@ func FuzzRead(f *testing.F) {
 	f.Add("x y\n")
 	f.Add("-1 -1\n")
 	f.Add("999999999999999999999 1\n")
+	f.Add("3 2\n0 1 7\n1 2\n") // 3-column line: must be rejected, not truncated
+	f.Add("3 1\n0 1x\n")
+	f.Add("2 1\n0\n1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := Read(strings.NewReader(in))
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -42,8 +43,20 @@ func Read(r io.Reader) (*Graph, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		var a, b int
-		if _, err := fmt.Sscanf(text, "%d %d", &a, &b); err != nil {
+		// Split into fields and require exactly two: Sscanf("%d %d")
+		// would silently ignore trailing tokens, so a 3-column file
+		// (e.g. a weighted or timestamped SNAP export) would load with
+		// its third column dropped instead of being rejected.
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: %q: want exactly 2 fields, got %d", line, text, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
 		}
 		if g == nil {

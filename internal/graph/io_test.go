@@ -41,11 +41,32 @@ func TestReadErrors(t *testing.T) {
 		{"self-loop", "3 1\n1 1\n"},
 		{"edge-count-mismatch", "3 2\n0 1\n"},
 		{"negative-header", "-3 1\n"},
+		// Lines with extra or garbage tokens must be rejected, not
+		// silently truncated to their first two columns: a 3-column SNAP
+		// export (weights, timestamps) would otherwise load as if it were
+		// a plain edge list.
+		{"three-column-header", "3 2 extra\n0 1\n1 2\n"},
+		{"three-column-edge", "3 2\n0 1 7\n1 2\n"},
+		{"trailing-garbage", "3 1\n0 1x\n"},
+		{"one-token-line", "3 1\n0\n"},
 	}
 	for _, c := range cases {
 		if _, err := Read(strings.NewReader(c.in)); err == nil {
 			t.Errorf("%s: want error, got nil", c.name)
 		}
+	}
+}
+
+// TestReadRejectsExtraTokensWithLineNumber pins the error shape of the
+// strict-field check: the offending line number and text must appear,
+// since that is what a user staring at a 100k-line SNAP file needs.
+func TestReadRejectsExtraTokensWithLineNumber(t *testing.T) {
+	_, err := Read(strings.NewReader("3 2\n0 1 7\n1 2\n"))
+	if err == nil {
+		t.Fatal("3-column edge line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "0 1 7") {
+		t.Fatalf("error %q does not name line 2 and its text", err)
 	}
 }
 

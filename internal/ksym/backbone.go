@@ -115,8 +115,10 @@ func (s *cellScratch) grow(n int) {
 // its class. tick, when non-nil, polls for cancellation amortized by
 // component size.
 func classifyCell(g *graph.Graph, cell []int, sc *cellScratch, tick *canceller) ([][]int, []int, error) {
+	obsCellsClassified.Inc()
 	sub, subOrig := g.InducedSubgraph(cell)
 	subComps := sub.ConnectedComponents()
+	obsComponents.Add(int64(len(subComps)))
 	if len(subComps) <= 1 {
 		orig := append([]int(nil), cell...)
 		return [][]int{orig}, []int{0}, nil
@@ -178,6 +180,7 @@ func classifyCell(g *graph.Graph, cell []int, sc *cellScratch, tick *canceller) 
 			if r.sub.N() != cand.sub.N() || r.sub.M() != cand.sub.M() || r.sigBag != cand.sigBag {
 				continue
 			}
+			obsIsoTests.Inc()
 			_, ok := graph.IsomorphicConstrained(cand.sub, r.sub, func(u, v int) bool {
 				return sc.extSig[cand.orig[u]] == sc.extSig[r.orig[v]]
 			})
@@ -232,6 +235,7 @@ func backboneWorkers(w int) int {
 // mask with the number of marked vertices (0 at a fixpoint), stopping
 // early with the context's error when it fires.
 func backbonePass(ctx context.Context, g *graph.Graph, cellOf []int, workers int) ([]bool, int, error) {
+	obsPasses.Inc()
 	cells := partition.FromCellOf(cellOf)
 	var work [][]int
 	for ci := 0; ci < cells.NumCells(); ci++ {

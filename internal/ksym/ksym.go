@@ -155,6 +155,8 @@ func CopyCellInPlace(g *graph.Graph, cellOf *[]int, cellID int, orig []int) {
 // set orig (all of whose members must belong to cell cellID). New
 // vertices are appended to g and to cellOf with the same cell id.
 func copyCell(g *graph.Graph, cellOf *[]int, cellID int, orig []int) {
+	obsOrbitCopies.Inc()
+	obsVerticesCopied.Add(int64(len(orig)))
 	first := g.AddVertices(len(orig))
 	copyOf := make(map[int]int, len(orig))
 	inOrig := make(map[int]bool, len(orig))

@@ -1,0 +1,26 @@
+package ksym
+
+import "ksymmetry/internal/obs"
+
+// The "backbone" scope counts Algorithm 2's work, the "ksym" scope the
+// orbit-copying output side (DESIGN.md §8). Backbone increments ride on
+// chunky operations (a whole component classification, a whole iso
+// test), so they record directly without local tallies.
+var (
+	// obsPasses counts backbone reduction sweeps over all cells.
+	obsPasses = obs.Default.Scope("backbone").Counter("passes")
+	// obsCellsClassified counts cells run through ℒ(V)-classification
+	// (backbone passes and maxClassMultiplicity both count).
+	obsCellsClassified = obs.Default.Scope("backbone").Counter("cells_classified")
+	// obsComponents counts connected components scanned inside cells.
+	obsComponents = obs.Default.Scope("backbone").Counter("components")
+	// obsIsoTests counts constrained-isomorphism tests between candidate
+	// components — the expensive inner check of backbone detection.
+	obsIsoTests = obs.Default.Scope("backbone").Counter("iso_tests")
+	// obsOrbitCopies counts orbit copying operations (Definition 3)
+	// applied by any caller: Algorithm 1, the minimal rebuild, and the
+	// exact sampler's regrow loop.
+	obsOrbitCopies = obs.Default.Scope("ksym").Counter("orbit_copies")
+	// obsVerticesCopied counts vertices added by those operations.
+	obsVerticesCopied = obs.Default.Scope("ksym").Counter("vertices_copied")
+)

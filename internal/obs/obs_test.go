@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimerBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Scope("s").Counter("c")
+	g := r.Scope("s").Gauge("g")
+	tm := r.Scope("s").Timer("t")
+
+	// Disabled: everything is a no-op.
+	c.Add(5)
+	g.Set(7)
+	g.SetMax(9)
+	tm.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || tm.Count() != 0 {
+		t.Fatalf("disabled registry recorded: c=%d g=%d t=%d", c.Value(), g.Value(), tm.Count())
+	}
+
+	r.SetEnabled(true)
+	c.Add(5)
+	c.Inc()
+	g.Set(7)
+	g.SetMax(3) // below current: no change
+	g.SetMax(9)
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(3 * time.Millisecond)
+	if c.Value() != 6 {
+		t.Errorf("counter = %d, want 6", c.Value())
+	}
+	if g.Value() != 9 {
+		t.Errorf("gauge = %d, want 9", g.Value())
+	}
+	if tm.Count() != 2 || tm.Total() != 5*time.Millisecond {
+		t.Errorf("timer = %d obs / %v, want 2 / 5ms", tm.Count(), tm.Total())
+	}
+
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"s.c":       6,
+		"s.g":       9,
+		"s.t.ns":    int64(5 * time.Millisecond),
+		"s.t.count": 2,
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("snapshot = %v, want %v", snap, want)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || tm.Count() != 0 || tm.Total() != 0 {
+		t.Errorf("reset left values: %v", r.Snapshot())
+	}
+}
+
+func TestInterning(t *testing.T) {
+	r := NewRegistry()
+	if r.Scope("a").Counter("x") != r.Scope("a").Counter("x") {
+		t.Error("same key returned distinct counters")
+	}
+	if r.Scope("a").Counter("y") == r.Scope("b").Counter("y") {
+		t.Error("distinct scopes share a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a key with another kind did not panic")
+		}
+	}()
+	r.Scope("a").Gauge("x")
+}
+
+func TestNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "a.b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Scope(bad)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q accepted", bad)
+				}
+			}()
+			r.Scope("ok").Counter(bad)
+		}()
+	}
+}
+
+// TestConcurrentCounters hammers one counter, one max-gauge, and one
+// timer from many goroutines; run under -race this checks the lock-free
+// paths, and the totals check exactness (atomic adds lose nothing).
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Scope("s").Counter("c")
+	g := r.Scope("s").Gauge("hwm")
+	tm := r.Scope("s").Timer("t")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(2)
+				g.SetMax(int64(w*perWorker + i))
+				tm.Observe(time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if want := int64(2 * workers * perWorker); c.Value() != want {
+		t.Errorf("counter = %d, want %d", c.Value(), want)
+	}
+	if want := int64(workers*perWorker - 1); g.Value() != want {
+		t.Errorf("gauge high-water mark = %d, want %d", g.Value(), want)
+	}
+	if tm.Count() != workers*perWorker {
+		t.Errorf("timer count = %d, want %d", tm.Count(), workers*perWorker)
+	}
+}
+
+// TestSnapshotKeyStability: the key set depends only on registration,
+// not on recording or enablement, and the JSON rendering is sorted.
+func TestSnapshotKeyStability(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("zeta").Counter("n")
+	r.Scope("alpha").Timer("wall")
+	r.Scope("alpha").Gauge("depth")
+
+	before := r.Keys()
+	r.SetEnabled(true)
+	r.Scope("zeta").Counter("n").Add(41)
+	after := r.Keys()
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("key set changed with recording: %v vs %v", before, after)
+	}
+	want := []string{"alpha.depth", "alpha.wall.count", "alpha.wall.ns", "zeta.n"}
+	if !reflect.DeepEqual(after, want) {
+		t.Errorf("keys = %v, want %v", after, want)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "{\n") || !strings.HasSuffix(out, "}\n") {
+		t.Errorf("JSON framing wrong: %q", out)
+	}
+	// Keys must appear in sorted order.
+	last := -1
+	for _, k := range want {
+		i := strings.Index(out, `"`+k+`"`)
+		if i < 0 || i < last {
+			t.Fatalf("key %q missing or out of order in %q", k, out)
+		}
+		last = i
+	}
+	if !strings.Contains(out, `"zeta.n": 41`) {
+		t.Errorf("JSON missing recorded value: %q", out)
+	}
+}
+
+// TestNoOpPathAllocs: the disabled path of every record method must not
+// allocate — instrumentation left in hot kernels is free when off.
+func TestNoOpPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Scope("s").Counter("c")
+	g := r.Scope("s").Gauge("g")
+	tm := r.Scope("s").Timer("t")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(1)
+		g.SetMax(2)
+		tm.Observe(time.Microsecond)
+	}); n != 0 {
+		t.Errorf("disabled record path allocates %v per run", n)
+	}
+	// The enabled path must be allocation-free too: hot loops flush into
+	// these under testing.AllocsPerRun-guarded benchmarks.
+	r.SetEnabled(true)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(1)
+		g.SetMax(2)
+		tm.Observe(time.Microsecond)
+	}); n != 0 {
+		t.Errorf("enabled record path allocates %v per run", n)
+	}
+}
+
+func TestSnapshotIfEnabled(t *testing.T) {
+	// Default is shared; restore its state for other tests.
+	was := Enabled()
+	defer Default.SetEnabled(was)
+
+	Default.SetEnabled(false)
+	if snap := SnapshotIfEnabled(); snap != nil {
+		t.Errorf("disabled default returned snapshot %v", snap)
+	}
+	Enable()
+	if snap := SnapshotIfEnabled(); snap == nil {
+		t.Error("enabled default returned nil snapshot")
+	}
+}

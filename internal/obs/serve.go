@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"os"
+	"sync"
+)
+
+var serveOnce sync.Once
+
+// ServePprof binds addr (e.g. "localhost:6060") and serves the standard
+// net/http/pprof endpoints plus "/metrics" (the default registry as
+// sorted JSON) from a background goroutine. It returns the bound
+// address, so addr may use port 0 and the caller can still print where
+// the listener ended up. The listener lives until the process exits —
+// these are debug endpoints for a CLI run, not a managed server.
+func ServePprof(addr string) (string, error) {
+	serveOnce.Do(func() {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = Default.WriteJSON(w)
+		})
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// DumpFile writes the default registry's snapshot as sorted JSON to
+// path, with "-" meaning stdout — the implementation behind the CLIs'
+// -metrics flag.
+func DumpFile(path string) error {
+	if path == "-" {
+		return Default.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

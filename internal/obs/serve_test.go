@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServePprof binds an ephemeral port and checks that both the
+// /metrics JSON endpoint and the net/http/pprof index respond.
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServePprof: %v", err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(body), "{") || !strings.HasSuffix(strings.TrimSpace(string(body)), "}") {
+		t.Fatalf("GET /metrics: not a JSON object:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/cmdline: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+}

@@ -88,7 +88,7 @@ func (r *Result) ladder(ctx context.Context, cfg Config) (*partition.Partition, 
 			return nil, "", perr
 		}
 		if errors.Is(err, automorphism.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded) {
-			r.Downgrades = append(r.Downgrades,
+			r.noteDowngrade(rung.mode,
 				fmt.Sprintf("partition: %s orbit search gave up (%v); degrading", rung.mode, err))
 			continue
 		}
@@ -102,7 +102,7 @@ func (r *Result) ladder(ctx context.Context, cfg Config) (*partition.Partition, 
 	// nothing.
 	tctx := ctx
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		r.Downgrades = append(r.Downgrades,
+		r.noteDowngrade(ModeTDV,
 			"partition: deadline expired; computing 𝒯𝒟𝒱(G) past it as the answer of last resort")
 		tctx = context.WithoutCancel(ctx)
 	}

@@ -1,0 +1,44 @@
+package pipeline
+
+import "ksymmetry/internal/obs"
+
+// The "pipeline" scope promotes the ad-hoc per-stage wall clocks onto
+// obs (each stage contributes "pipeline.stage_<name>.ns/.count") and
+// counts ladder step-downs by reason (DESIGN.md §8). Stage names are a
+// closed set, so the timers are registered once here and runStage does
+// a plain map lookup — no registry lock on the run path.
+var (
+	obsStageTimers = map[string]*obs.Timer{
+		"load":      obs.Default.Scope("pipeline").Timer("stage_load"),
+		"partition": obs.Default.Scope("pipeline").Timer("stage_partition"),
+		"anonymize": obs.Default.Scope("pipeline").Timer("stage_anonymize"),
+		"publish":   obs.Default.Scope("pipeline").Timer("stage_publish"),
+	}
+	// obsRuns counts pipeline runs started.
+	obsRuns = obs.Default.Scope("pipeline").Counter("runs")
+	// obsDowngrades counts every ladder step-down (it matches the number
+	// of entries appended to Result.Downgrades).
+	obsDowngrades = obs.Default.Scope("pipeline").Counter("downgrades")
+	// obsDowngradeExact counts step-downs out of the exact rung,
+	// obsDowngradeBudgeted out of the budgeted rung, and
+	// obsDowngradeDeadline the last-resort 𝒯𝒟𝒱 computed past an expired
+	// deadline.
+	obsDowngradeExact    = obs.Default.Scope("pipeline").Counter("downgrade_from_exact")
+	obsDowngradeBudgeted = obs.Default.Scope("pipeline").Counter("downgrade_from_budgeted")
+	obsDowngradeDeadline = obs.Default.Scope("pipeline").Counter("downgrade_deadline_tdv")
+)
+
+// noteDowngrade records one ladder step-down both in the result's
+// human-readable log and in the obs counters.
+func (r *Result) noteDowngrade(from PartitionMode, msg string) {
+	r.Downgrades = append(r.Downgrades, msg)
+	obsDowngrades.Inc()
+	switch from {
+	case ModeExact:
+		obsDowngradeExact.Inc()
+	case ModeBudgeted:
+		obsDowngradeBudgeted.Inc()
+	default:
+		obsDowngradeDeadline.Inc()
+	}
+}

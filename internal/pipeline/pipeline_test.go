@@ -11,6 +11,7 @@ import (
 	"ksymmetry/internal/faulttest"
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/obs"
 )
 
 func TestRunExactMode(t *testing.T) {
@@ -228,5 +229,56 @@ func TestPublishSamples(t *testing.T) {
 	}
 	if len(res.Samples) != 0 || res.StageDuration("publish") != 0 {
 		t.Fatal("publish stage ran without a sink or sample request")
+	}
+}
+
+// TestResultMetricsReportsDowngrade: with observability on, a run's
+// Result.Metrics snapshot must agree with what the result itself
+// records — every entry of Result.Downgrades shows up in the
+// "pipeline.downgrades" counter, and the stage timers tick. The obs
+// registry is process-wide and cumulative, so all assertions are deltas
+// against a snapshot taken before the run.
+func TestResultMetricsReportsDowngrade(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	before := obs.Snapshot()
+
+	// One-node budgets starve the exact rung: exactly one step-down,
+	// exact → budgeted.
+	res, err := Run(context.Background(), Config{Graph: datasets.Cycle(50), K: 2, NodeBudget: 1, BudgetedNodeBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("observability on but Result.Metrics is nil")
+	}
+	if len(res.Downgrades) == 0 {
+		t.Fatal("test setup: no downgrade happened")
+	}
+	d := func(key string) int64 { return res.Metrics[key] - before[key] }
+	if got := d("pipeline.downgrades"); got != int64(len(res.Downgrades)) {
+		t.Fatalf("pipeline.downgrades delta = %d, want %d (len(Downgrades))", got, len(res.Downgrades))
+	}
+	if got := d("pipeline.downgrade_from_exact"); got != 1 {
+		t.Fatalf("pipeline.downgrade_from_exact delta = %d, want 1", got)
+	}
+	if got := d("pipeline.runs"); got != 1 {
+		t.Fatalf("pipeline.runs delta = %d, want 1", got)
+	}
+	for _, stage := range []string{"load", "partition", "anonymize"} {
+		if got := d("pipeline.stage_" + stage + ".count"); got != 1 {
+			t.Fatalf("stage %q timer count delta = %d, want 1", stage, got)
+		}
+	}
+
+	// With observability off, runs must not carry (or pay for) a
+	// snapshot.
+	obs.Disable()
+	res2, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics != nil {
+		t.Fatalf("observability off but Result.Metrics = %v", res2.Metrics)
 	}
 }

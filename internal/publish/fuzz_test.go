@@ -13,6 +13,11 @@ func FuzzRead(f *testing.F) {
 	f.Add("")
 	f.Add("%graph\n")
 	f.Add("# ksymmetry-release v1\n%original-n x\n%end\n")
+	f.Add("# ksymmetry-release v1\n%original-nonsense 2\n%graph\n2 1\n0 1\n%partition\n0 1\n%end\n")
+	f.Add("# ksymmetry-release v1\n%original-n 2\n%original-n 1\n%graph\n2 1\n0 1\n%partition\n0 1\n%end\n")
+	f.Add("# ksymmetry-release v1\n%original-n 2\n%graph\n%original-n 2\n2 1\n0 1\n%partition\n0 1\n%end\n")
+	f.Add("# ksymmetry-release v1\n%original-n 2\n%partition\n0 1\n%graph\n2 1\n0 1\n%end\n")
+	f.Add("# ksymmetry-release v1\n%original-n 2\n%graph\n2 1\n0 1\n%partition\n0 1\n%end\n0 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		rel, err := Read(strings.NewReader(in))
 		if err != nil {

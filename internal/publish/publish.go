@@ -80,45 +80,92 @@ func (r *Release) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses and validates a release.
+// Read parses and validates a release. The file is a fixed sequence of
+// sections — preamble (header comment + %original-n) → %graph →
+// %partition → %end — and the parser is a state machine over exactly
+// that sequence. Directive lines are matched by exact token, never by
+// prefix: "%original-nonsense 5" is a corrupt file, not a sloppy
+// spelling of %original-n, and a directive repeated or appearing inside
+// a section means the artifact was truncated or spliced, so all of
+// those are errors rather than last-write-wins.
 func Read(rd io.Reader) (*Release, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	rel := &Release{}
 	var graphLines, cellLines []string
-	section := ""
+	section := "preamble"
 	sawHeader := false
+	sawOrig := false
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
+		if line == "" {
 			continue
-		case strings.HasPrefix(line, "#"):
+		}
+		if strings.HasPrefix(line, "#") {
 			if strings.Contains(line, header) {
 				sawHeader = true
 			}
 			continue
-		case strings.HasPrefix(line, secOrig):
-			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, secOrig)))
-			if err != nil {
-				return nil, fmt.Errorf("publish: bad %s line %q", secOrig, line)
-			}
-			rel.OriginalN = n
-		case line == secGraph:
-			section = "graph"
-		case line == secCells:
-			section = "cells"
-		case line == secEnd:
-			section = "end"
-		default:
-			switch section {
-			case "graph":
-				graphLines = append(graphLines, line)
-			case "cells":
-				cellLines = append(cellLines, line)
+		}
+		if strings.HasPrefix(line, "%") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case secOrig:
+				if section != "preamble" {
+					return nil, fmt.Errorf("publish: line %d: %s directive inside %q section", lineNo, secOrig, section)
+				}
+				if sawOrig {
+					return nil, fmt.Errorf("publish: line %d: duplicate %s directive", lineNo, secOrig)
+				}
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("publish: line %d: %q: want %q followed by exactly one integer", lineNo, line, secOrig)
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, fmt.Errorf("publish: line %d: bad %s value %q", lineNo, secOrig, fields[1])
+				}
+				rel.OriginalN = n
+				sawOrig = true
+			case secGraph:
+				if len(fields) != 1 {
+					return nil, fmt.Errorf("publish: line %d: %q: %s takes no arguments", lineNo, line, secGraph)
+				}
+				if section != "preamble" {
+					return nil, fmt.Errorf("publish: line %d: %s marker after %q section", lineNo, secGraph, section)
+				}
+				section = "graph"
+			case secCells:
+				if len(fields) != 1 {
+					return nil, fmt.Errorf("publish: line %d: %q: %s takes no arguments", lineNo, line, secCells)
+				}
+				if section != "graph" {
+					return nil, fmt.Errorf("publish: line %d: %s marker outside graph section (in %q)", lineNo, secCells, section)
+				}
+				section = "cells"
+			case secEnd:
+				if len(fields) != 1 {
+					return nil, fmt.Errorf("publish: line %d: %q: %s takes no arguments", lineNo, line, secEnd)
+				}
+				if section != "cells" {
+					return nil, fmt.Errorf("publish: line %d: %s marker outside partition section (in %q)", lineNo, secEnd, section)
+				}
+				section = "end"
 			default:
-				return nil, fmt.Errorf("publish: unexpected line %q outside any section", line)
+				return nil, fmt.Errorf("publish: line %d: unknown directive %q", lineNo, fields[0])
 			}
+			continue
+		}
+		switch section {
+		case "graph":
+			graphLines = append(graphLines, line)
+		case "cells":
+			cellLines = append(cellLines, line)
+		case "end":
+			return nil, fmt.Errorf("publish: line %d: content %q after %s marker", lineNo, line, secEnd)
+		default:
+			return nil, fmt.Errorf("publish: line %d: unexpected line %q outside any section", lineNo, line)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -126,6 +173,9 @@ func Read(rd io.Reader) (*Release, error) {
 	}
 	if !sawHeader {
 		return nil, fmt.Errorf("publish: missing %q header", header)
+	}
+	if !sawOrig {
+		return nil, fmt.Errorf("publish: missing %s directive", secOrig)
 	}
 	if section != "end" {
 		return nil, fmt.Errorf("publish: truncated release (no %s marker)", secEnd)

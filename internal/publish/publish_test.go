@@ -99,6 +99,19 @@ func TestReadRejectsCorrupt(t *testing.T) {
 		{"no-end", strings.Replace(full, "%end", "", 1)},
 		{"garbage-outside-section", "# ksymmetry-release v1\nhello\n%end\n"},
 		{"bad-original", strings.Replace(full, "%original-n", "%original-n x", 1)},
+		// Directives are exact tokens: a prefix match is corruption, not
+		// a spelling the parser should quietly accept.
+		{"prefix-matched-directive", strings.Replace(full, "%original-n ", "%original-nonsense ", 1)},
+		{"glued-directive-value", strings.Replace(full, "%original-n ", "%original-n", 1)},
+		{"unknown-directive", strings.Replace(full, "%graph", "%grap\n%graph", 1)},
+		// A directive may appear once, and only in its own section.
+		{"duplicate-original", strings.Replace(full, "%graph", "%original-n 9\n%graph", 1)},
+		{"original-inside-graph-section", strings.Replace(full, "%partition", "%original-n 9\n%partition", 1)},
+		{"duplicate-graph-marker", strings.Replace(full, "%partition", "%graph\n%partition", 1)},
+		{"partition-before-graph", strings.Replace(full, "%graph", "%partition\n%graph", 1)},
+		{"content-after-end", full + "0 1\n"},
+		{"marker-with-arguments", strings.Replace(full, "%graph", "%graph extra", 1)},
+		{"missing-original", strings.Replace(full, "%original-n", "# original-n", 1)},
 	}
 	for _, c := range cases {
 		if _, err := Read(strings.NewReader(c.in)); err == nil {

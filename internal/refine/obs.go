@@ -1,0 +1,23 @@
+package refine
+
+import "ksymmetry/internal/obs"
+
+// The "refine" scope counts the worklist kernel's work (DESIGN.md §8).
+// Tallies are plain Refiner fields bumped in the drain loop and flushed
+// once per Run, so the splitter hot path stays atomic-free.
+var (
+	// obsRuns counts worklist drains (one per Run/RunCtx call — every
+	// 𝒯𝒟𝒱 computation and every incremental re-refinement of the IR
+	// search).
+	obsRuns = obs.Default.Scope("refine").Counter("runs")
+	// obsSplitters counts worklist passes: cells dequeued and used as
+	// splitters.
+	obsSplitters = obs.Default.Scope("refine").Counter("splitter_passes")
+	// obsSplits counts new cells created by splitting (fragments beyond
+	// the one keeping the parent's id).
+	obsSplits = obs.Default.Scope("refine").Counter("cell_splits")
+	// obsIndivDepth is the high-water mark of individualizations applied
+	// on top of a restored state (the IR-tree depth this repo's search
+	// explores).
+	obsIndivDepth = obs.Default.Scope("refine").Gauge("indiv_depth_max")
+)

@@ -57,6 +57,11 @@ type Refiner struct {
 	aux    []int // counting-sort output buffer (parallel to vtx)
 	bucket []int // counting-sort buckets indexed by count value
 	frag   []fragEntry
+
+	// Local observability tallies, flushed to the obs "refine" scope
+	// once per RunCtx (so the drain loop stays atomic-free).
+	statSplitters int64
+	statSplits    int64
 }
 
 type fragEntry struct{ id, start, end int }
@@ -260,17 +265,30 @@ func (r *Refiner) RunCtx(ctx context.Context) error {
 			r.queue = r.queue[:0]
 			r.qhead = 0
 		}
+		r.statSplitters++
 		r.splitAgainst(sc)
 		work += len(r.spl) + 1
 		if work >= ctxCheckWork {
 			work = 0
 			if err := ctx.Err(); err != nil {
 				r.clearQueue()
+				r.flushObs()
 				return err
 			}
 		}
 	}
+	r.flushObs()
 	return nil
+}
+
+// flushObs publishes the drain loop's local tallies — one flush per
+// Run, whether it reached the fixpoint or was cancelled.
+func (r *Refiner) flushObs() {
+	obsRuns.Inc()
+	obsSplitters.Add(r.statSplitters)
+	obsSplits.Add(r.statSplits)
+	obsIndivDepth.SetMax(int64(r.nIndiv))
+	r.statSplitters, r.statSplits = 0, 0
 }
 
 // splitAgainst uses cell sc as the splitter: counts every vertex's edges
@@ -393,6 +411,7 @@ func (r *Refiner) splitCell(c int) {
 		}
 		d := r.numCells
 		r.numCells++
+		r.statSplits++
 		f.id = d
 		r.cellStart[d] = f.start
 		r.cellEnd[d] = f.end

@@ -130,6 +130,17 @@ type weightedPicker struct {
 	eligible func(i int) bool
 	cells    []int     // eligible cell ids at the last rebuild
 	cum      []float64 // cum[j] = Σ probs[cells[0..j]]
+
+	// Local observability tallies, flushed once per budget loop.
+	rejects  int64
+	rebuilds int64
+}
+
+// flushObs publishes the picker's tallies to the obs "sampling" scope.
+func (wp *weightedPicker) flushObs() {
+	obsRejections.Add(wp.rejects)
+	obsRebuilds.Add(wp.rebuilds)
+	wp.rejects, wp.rebuilds = 0, 0
 }
 
 func newWeightedPicker(probs []float64, eligible func(i int) bool) *weightedPicker {
@@ -178,11 +189,13 @@ func (wp *weightedPicker) pick(rng *rand.Rand) int {
 				if i := wp.cells[j]; wp.eligible(i) {
 					return i
 				}
+				wp.rejects++
 			}
 		}
 		if rebuilt {
 			return -1
 		}
+		wp.rebuilds++
 		wp.rebuild()
 		if wp.total() <= 0 {
 			return -1
@@ -253,6 +266,7 @@ func ExactCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partition, n i
 		cpn[i]++
 		budget -= len(bb.Partition.Cell(i))
 	}
+	picker.flushObs()
 	// Regrow: repeat Ocp(B, ℬ, B_i) cpn[i] times (each operation copies
 	// the original backbone cell, as in Algorithm 1).
 	h := bb.Graph.Clone()
@@ -273,6 +287,7 @@ func ExactCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partition, n i
 			ksym.CopyCellInPlace(h, &cellOf, i, bb.Partition.Cell(i))
 		}
 	}
+	obsSamples.Inc()
 	return h, nil
 }
 
@@ -325,6 +340,7 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 		s[i]++
 		budget--
 	}
+	picker.flushObs()
 	// Algorithm 4, lines 7-12 and Algorithm 5: quota-guided DFS. The
 	// walk keeps its own frame stack (vertex + neighbor cursor) instead
 	// of recursing, so path-like graphs cannot overflow the goroutine
@@ -385,6 +401,7 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 	}
 	// Restart from unvisited vertices in cells with open quota until the
 	// target is met or nothing remains.
+	restarts := int64(0)
 	for remaining > 0 {
 		r := -1
 		for v := 0; v < gp.N(); v++ {
@@ -402,10 +419,13 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 		if r < 0 {
 			break
 		}
+		restarts++
 		if err := start(r); err != nil {
 			return nil, err
 		}
 	}
+	obsDFSSteps.Add(int64(steps))
+	obsRestarts.Add(restarts)
 	var keep []int
 	for v := 0; v < gp.N(); v++ {
 		if selected[v] {
@@ -413,5 +433,6 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 		}
 	}
 	sub, _ := gp.InducedSubgraph(keep)
+	obsSamples.Inc()
 	return sub, nil
 }

@@ -89,16 +89,28 @@ func abs(x float64) float64 {
 
 // AverageKS is the "average K-S statistic value" of Figures 9 and 11:
 // the mean KS distance between the reference sample and each of the
-// compared samples.
+// non-empty compared samples. Empty compared samples are skipped rather
+// than fed to KolmogorovSmirnov (which panics on them): PathLengthSample
+// legitimately comes back empty on fragmented graphs, and one
+// disconnected sampled graph must not take down a whole experiment
+// sweep. When the reference is empty or every compared sample is, there
+// is no distance to report and the result is 0.
 func AverageKS(ref Sample, samples []Sample) float64 {
-	if len(samples) == 0 {
+	if ref.Len() == 0 {
 		return 0
 	}
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, s := range samples {
+		if s.Len() == 0 {
+			continue
+		}
 		sum += KolmogorovSmirnov(ref, s)
+		n++
 	}
-	return sum / float64(len(samples))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // DegreeSample returns the degree of every vertex as a sample — the

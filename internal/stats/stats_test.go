@@ -97,6 +97,28 @@ func TestAverageKS(t *testing.T) {
 	}
 }
 
+// AverageKS must skip empty compared samples instead of panicking
+// through KolmogorovSmirnov: PathLengthSample legitimately returns an
+// empty sample on fragmented graphs, and those samples flow straight
+// into AverageKS in the Figure 9/11 sweeps.
+func TestAverageKSSkipsEmptySamples(t *testing.T) {
+	ref := NewSample([]float64{1, 2})
+	empty := NewSample(nil)
+	far := NewSample([]float64{10, 20})
+
+	// An empty compared sample contributes nothing — neither a panic nor
+	// a dilution of the average over the remaining samples.
+	if got := AverageKS(ref, []Sample{empty, far}); got != 1 {
+		t.Fatalf("average KS with empty sample skipped = %v, want 1", got)
+	}
+	if got := AverageKS(ref, []Sample{empty, empty}); got != 0 {
+		t.Fatalf("average KS over only empty samples = %v, want 0", got)
+	}
+	if got := AverageKS(empty, []Sample{far}); got != 0 {
+		t.Fatalf("average KS with empty reference = %v, want 0", got)
+	}
+}
+
 func TestDegreeSampleAndHistogram(t *testing.T) {
 	g := datasets.Star(4)
 	s := DegreeSample(g)

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Alloc-regression guard for the instrumented hot kernels.
+#
+# The obs hooks in internal/refine and internal/sampling are designed to
+# cost ~one atomic load when observability is off (the benched state),
+# so the benched allocs/op must stay at the baselines committed in
+# BENCH_refine.json / BENCH_sampling.json. A hook that accidentally
+# allocates (boxing, closure capture, fmt on the hot path) shows up here
+# as thousands of extra allocs/op and fails CI.
+#
+# Allowed drift: 25% + 64 allocs, covering runtime/scheduler noise and
+# one-time lazy initialization amortized over the small -benchtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(
+  go test -run '^$' -bench 'BenchmarkEquitable/BA-10k' \
+    -benchtime 2x -benchmem -short ./internal/refine/
+  go test -run '^$' -bench 'BenchmarkSamplingBatch/(serial-loop|batch-workers-1$)' \
+    -benchtime 2x -benchmem -short ./internal/sampling/
+)
+echo "$out"
+
+python3 - <<'EOF' "$out"
+import json, re, sys
+
+refine = json.load(open("BENCH_refine.json"))
+sampling = json.load(open("BENCH_sampling.json"))
+baselines = {
+    "BenchmarkEquitable/BA-10k": refine["equitable_allocs_per_op"]["BA-10k"]["worklist"],
+    "BenchmarkSamplingBatch/serial-loop": sampling["batch_allocs_per_op"]["serial-loop"],
+    "BenchmarkSamplingBatch/batch-workers-1": sampling["batch_allocs_per_op"]["batch-workers-1"],
+}
+
+# Benchmark lines carry a -GOMAXPROCS suffix unless it is 1; names like
+# "batch-workers-1" also end in "-<digits>", so try the verbatim name
+# first and only then the suffix-stripped one.
+measured = {}
+for line in sys.argv[1].splitlines():
+    m = re.match(r"^(Benchmark\S+)\s+\d+\s+.*?(\d+)\s+allocs/op", line)
+    if not m:
+        continue
+    name, allocs = m.group(1), int(m.group(2))
+    if name not in baselines:
+        name = re.sub(r"-\d+$", "", name)
+    measured[name] = allocs
+
+failed = False
+for name, base in baselines.items():
+    if name not in measured:
+        print(f"FAIL {name}: benchmark did not run")
+        failed = True
+        continue
+    got, limit = measured[name], int(base * 1.25) + 64
+    verdict = "ok" if got <= limit else "FAIL"
+    print(f"{verdict:4} {name}: {got} allocs/op (baseline {base}, limit {limit})")
+    failed = failed or got > limit
+sys.exit(1 if failed else 0)
+EOF
