@@ -22,6 +22,7 @@ import (
 	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/experiments"
 	"ksymmetry/internal/obs"
+	"ksymmetry/internal/validate"
 )
 
 func main() {
@@ -35,6 +36,17 @@ func main() {
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
 	)
 	flag.Parse()
+
+	// Boundary validation at flag-parse time (shared with ksymd's
+	// request validator, internal/validate).
+	if err := validate.NonNegative("-workers", *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "kexp:", err)
+		os.Exit(2)
+	}
+	if *orbitTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "kexp: -orbit-timeout must be ≥ 0, got %v\n", *orbitTimeout)
+		os.Exit(2)
+	}
 
 	if *metricsOut != "" || *pprofAddr != "" {
 		obs.Enable()

@@ -19,6 +19,7 @@ import (
 	"ksymmetry/internal/partition"
 	"ksymmetry/internal/publish"
 	"ksymmetry/internal/sampling"
+	"ksymmetry/internal/validate"
 )
 
 func main() {
@@ -35,6 +36,20 @@ func main() {
 		outDir    = flag.String("out-dir", "", "write samples as sample_<i>.edges here (default stdout, count=1 only)")
 	)
 	flag.Parse()
+
+	// Boundary validation at flag-parse time (shared with ksymd's
+	// request validator, internal/validate).
+	if err := validate.NonNegative("-count", *count); err != nil {
+		fatal(err)
+	}
+	if err := validate.NonNegative("-workers", *workers); err != nil {
+		fatal(err)
+	}
+	if *relPath == "" && *graphPath != "" {
+		if err := validate.Positive("-n", *n); err != nil {
+			fatal(err)
+		}
+	}
 
 	var (
 		g   *graph.Graph

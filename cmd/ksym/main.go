@@ -35,7 +35,15 @@ import (
 	"ksymmetry/internal/obs"
 	"ksymmetry/internal/pipeline"
 	"ksymmetry/internal/publish"
+	"ksymmetry/internal/validate"
 )
+
+// fatalFlag reports a flag-validation error and exits with the flag
+// package's conventional status 2.
+func fatalFlag(err error) {
+	fmt.Fprintln(os.Stderr, "ksym:", err)
+	os.Exit(2)
+}
 
 func main() {
 	var (
@@ -57,6 +65,27 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
 	)
 	flag.Parse()
+
+	// Boundary validation at flag-parse time: one-line errors here
+	// instead of garbage propagating into the kernels. The same checks
+	// back ksymd's request validation (internal/validate).
+	if err := validate.K(*k); err != nil {
+		fatalFlag(err)
+	}
+	if *excludeHubs != 0 {
+		if err := validate.Fraction("-exclude-hubs", *excludeHubs); err != nil {
+			fatalFlag(err)
+		}
+	}
+	if err := validate.NonNegative("-samples", *samples); err != nil {
+		fatalFlag(err)
+	}
+	if err := validate.NonNegative("-workers", *workers); err != nil {
+		fatalFlag(err)
+	}
+	if *timeout < 0 {
+		fatalFlag(fmt.Errorf("-timeout must be ≥ 0, got %v", *timeout))
+	}
 
 	if *metricsOut != "" || *pprofAddr != "" {
 		obs.Enable()

@@ -1,0 +1,131 @@
+// Command ksymd hosts the k-symmetry anonymization pipeline as a
+// hardened HTTP daemon: a bounded job queue with admission control
+// (429 + Retry-After under overload), per-request deadlines that ride
+// the partition degradation ladder, graceful drain on SIGTERM/SIGINT,
+// per-job panic isolation, and idempotency keys so client retries
+// never re-run a search.
+//
+// Usage:
+//
+//	ksymd -addr :8080
+//	curl -s 'http://localhost:8080/v1/anonymize?k=5&timeout=10s' --data-binary @g.edges
+//	curl -s http://localhost:8080/v1/jobs/j000000
+//	curl -s http://localhost:8080/v1/jobs/j000000/result -o g_anon.release
+//
+// See DESIGN.md §9 for the serving architecture and README for a
+// walk-through.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ksymmetry/internal/obs"
+	"ksymmetry/internal/server"
+	"ksymmetry/internal/validate"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+		queueCap     = flag.Int("queue", 16, "admission-control queue capacity; at capacity submissions get 429 + Retry-After")
+		workers      = flag.Int("workers", 1, "concurrent pipeline runs")
+		jobWorkers   = flag.Int("job-workers", 1, "worker pool inside each pipeline run (orbit search + sampling)")
+		maxTimeout   = flag.Duration("max-timeout", time.Minute, "per-job deadline ceiling; client timeouts are clamped to this")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight jobs on SIGTERM before they are cancelled")
+		maxBody      = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+		retained     = flag.Int("retained-jobs", 1024, "finished jobs kept for status queries (oldest evicted first)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this extra address (the main listener already serves /metrics)")
+	)
+	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "ksymd:", err)
+		os.Exit(2)
+	}
+	if err := validate.Positive("-queue", *queueCap); err != nil {
+		fatal(err)
+	}
+	if err := validate.Positive("-workers", *workers); err != nil {
+		fatal(err)
+	}
+	if err := validate.Positive("-job-workers", *jobWorkers); err != nil {
+		fatal(err)
+	}
+	if err := validate.Positive("-retained-jobs", *retained); err != nil {
+		fatal(err)
+	}
+	if *maxTimeout <= 0 || *drainTimeout <= 0 {
+		fatal(fmt.Errorf("-max-timeout and -drain-timeout must be > 0"))
+	}
+
+	// A server without metrics is a black box: the registry is always
+	// on, and /metrics serves the live snapshot.
+	obs.Enable()
+	if *pprofAddr != "" {
+		got, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ksymd: pprof on http://%s/debug/pprof/\n", got)
+	}
+
+	srv := server.New(server.Config{
+		QueueCapacity:   *queueCap,
+		Workers:         *workers,
+		MaxTimeout:      *maxTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxRetainedJobs: *retained,
+		PipelineWorkers: *jobWorkers,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ksymd: listening on http://%s (queue %d, workers %d, max timeout %v)\n",
+		ln.Addr(), *queueCap, *workers, *maxTimeout)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "ksymd: %v: draining (readiness now 503; up to %v for in-flight jobs; signal again to abort)\n",
+			sig, *drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "ksymd: serve:", err)
+		os.Exit(1)
+	}
+
+	// Second signal during the drain: give up immediately.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "ksymd: second signal, cancelling in-flight jobs")
+		cancel()
+	}()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ksymd: drain deadline hit, stragglers cancelled (%v)\n", err)
+	}
+	cancel()
+
+	// The job queue is drained; now close the HTTP side so in-flight
+	// status responses flush.
+	httpCtx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ksymd: http shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "ksymd: drained, exiting")
+}

@@ -1,0 +1,87 @@
+// Package atomicio provides crash-safe file writes: the payload goes
+// to a uniquely named "*.tmp" file in the destination directory, is
+// flushed and fsynced, and only then renamed over the destination.
+// A crash, ENOSPC, or mid-write cancellation therefore never leaves a
+// truncated edge list or publish file at the destination path — readers
+// see either the old complete file or the new complete file, and the
+// only possible debris is a "*.tmp" file that never graduated.
+//
+// The tmp file lives in the destination directory (not os.TempDir) so
+// the final rename stays within one filesystem and remains atomic.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the output of write to path atomically. The write
+// callback receives the tmp file; any error it returns (or any flush,
+// sync, close, or rename error) aborts the write, removes the tmp
+// file, and leaves the destination untouched.
+//
+// A destination that exists but is not a regular file — /dev/null, a
+// fifo, a character device — cannot be atomically replaced and must
+// not be: renaming over /dev/null would swap the device node for a
+// regular file. Such destinations are written through directly; they
+// have no durable content to truncate, so nothing atomic is lost.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	if fi, serr := os.Stat(path); serr == nil && !fi.Mode().IsRegular() {
+		return writeThrough(path, write)
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmp := f.Name()
+	// Until the rename succeeds the tmp file is debris: remove it on
+	// every failure path (after a successful rename err is nil and the
+	// cleanup does not fire).
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	// Flush file contents to stable storage before the rename makes the
+	// file visible under its real name: rename-before-fsync can leave a
+	// complete-looking but empty file after a power loss.
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// writeThrough writes directly into an existing non-regular
+// destination (device, fifo). Sync is skipped — character devices
+// commonly reject fsync, and there is no rename whose ordering a sync
+// would have to protect.
+func writeThrough(path string, write func(io.Writer) error) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// noTmpDebris fails if dir holds any leftover "*.tmp" file.
+func noTmpDebris(t *testing.T, dir string) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("tmp debris left behind: %v", matches)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.edges")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "3 1\n0 1\n")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "3 1\n0 1\n" {
+		t.Fatalf("content = %q", data)
+	}
+	noTmpDebris(t, dir)
+}
+
+func TestWriteFileErrorLeavesNoDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.edges")
+	wantErr := fmt.Errorf("disk on fire")
+	err := WriteFile(path, func(w io.Writer) error {
+		// A partial payload goes out before the failure — exactly the
+		// truncated-file shape the atomic write must never publish.
+		io.WriteString(w, "999999 999999\n")
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after failed write (stat err %v)", err)
+	}
+	noTmpDebris(t, dir)
+}
+
+func TestWriteFileFailurePreservesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.edges")
+	if err := os.WriteFile(path, []byte("old complete file\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	if err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half a new fi")
+		return boom
+	}); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old complete file\n" {
+		t.Fatalf("old content clobbered by failed write: %q", data)
+	}
+	noTmpDebris(t, dir)
+}
+
+// TestWriteFileDeviceDestination pins the non-regular-destination
+// path: writing to /dev/null must write through the device, not
+// rename a regular file over the device node (a rename would silently
+// replace /dev/null for the whole system).
+func TestWriteFileDeviceDestination(t *testing.T) {
+	fi, err := os.Stat(os.DevNull)
+	if err != nil || fi.Mode().IsRegular() {
+		t.Skipf("no device node at %s here", os.DevNull)
+	}
+	if err := WriteFile(os.DevNull, func(w io.Writer) error {
+		_, err := io.WriteString(w, "discarded\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(os.DevNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().IsRegular() {
+		t.Fatalf("%s became a regular file: the atomic rename clobbered the device node", os.DevNull)
+	}
+	noTmpDebris(t, "/dev")
+}
+
+func TestWriteFileMissingDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "out")
+	err := WriteFile(path, func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("want error for missing destination directory")
+	}
+}
+
+// TestWriteFileConcurrent exercises many writers racing on the same
+// destination: every reader observes a complete file from one of the
+// writers, never an interleaving or a truncation.
+func TestWriteFileConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "contended")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := strings.Repeat(fmt.Sprintf("writer %d\n", i), 100)
+			if err := WriteFile(path, func(w io.Writer) error {
+				_, err := io.WriteString(w, payload)
+				return err
+			}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("got %d lines, want 100 from a single complete writer", len(lines))
+	}
+	for _, l := range lines {
+		if l != lines[0] {
+			t.Fatalf("interleaved content: %q vs %q", l, lines[0])
+		}
+	}
+	noTmpDebris(t, dir)
+}

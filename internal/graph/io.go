@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"ksymmetry/internal/atomicio"
 )
 
 // The edge-list format is one header line "n m" followed by m lines
@@ -90,17 +92,11 @@ func Read(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// WriteFile writes g to path in edge-list format.
+// WriteFile writes g to path in edge-list format. The write is atomic
+// (tmp file + fsync + rename), so a crash or cancellation mid-write
+// never leaves a truncated edge list at path.
 func (g *Graph) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := g.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, g.Write)
 }
 
 // ReadFile reads a graph from an edge-list file.

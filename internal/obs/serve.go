@@ -7,6 +7,8 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
 	"os"
 	"sync"
+
+	"ksymmetry/internal/atomicio"
 )
 
 var serveOnce sync.Once
@@ -36,18 +38,12 @@ func ServePprof(addr string) (string, error) {
 
 // DumpFile writes the default registry's snapshot as sorted JSON to
 // path, with "-" meaning stdout — the implementation behind the CLIs'
-// -metrics flag.
+// -metrics flag. File writes are atomic (tmp + fsync + rename), so a
+// crash during the dump never leaves a truncated JSON document for a
+// scraper to choke on.
 func DumpFile(path string) error {
 	if path == "-" {
 		return Default.WriteJSON(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Default.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, Default.WriteJSON)
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"ksymmetry/internal/atomicio"
 )
 
 // The partition file format is one line per cell: space-separated
@@ -63,17 +65,11 @@ func Read(r io.Reader, n int) (*Partition, error) {
 	return FromCells(n, cells)
 }
 
-// WriteFile writes p to path.
+// WriteFile writes p to path. The write is atomic (tmp file + fsync +
+// rename), so a crash mid-write never leaves a truncated cell list at
+// path.
 func (p *Partition) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := p.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, p.Write)
 }
 
 // ReadFile reads a partition of {0..n-1} from path.

@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"errors"
+	"time"
+)
+
+// Summary is the JSON-serializable shape of a finished (or failed)
+// pipeline run — the job-status payload ksymd returns to clients. It
+// carries everything a caller needs to know what guarantee it actually
+// got: the ladder rung, the step-down log, per-stage wall times, the
+// anonymization cost, and the obs metric snapshot.
+type Summary struct {
+	// PartitionMode is the ladder rung that produced the partition
+	// ("exact", "budgeted", or "tdv"); empty if the run failed before
+	// the partition stage completed.
+	PartitionMode PartitionMode `json:"partition_mode,omitempty"`
+	// Guarantee spells out the anonymity guarantee of that rung.
+	Guarantee string `json:"guarantee,omitempty"`
+	// Downgrades is the ladder step-down log, in order.
+	Downgrades []string `json:"downgrades,omitempty"`
+	// Stages records per-stage wall times in execution order.
+	Stages []StageSummary `json:"stages,omitempty"`
+
+	// OriginalN/OriginalM and AnonymizedN/AnonymizedM are the input and
+	// output sizes; VerticesAdded/EdgesAdded/CopyOps the anonymization
+	// cost (all zero until the anonymize stage completes).
+	OriginalN     int `json:"original_n,omitempty"`
+	OriginalM     int `json:"original_m,omitempty"`
+	AnonymizedN   int `json:"anonymized_n,omitempty"`
+	AnonymizedM   int `json:"anonymized_m,omitempty"`
+	VerticesAdded int `json:"vertices_added,omitempty"`
+	EdgesAdded    int `json:"edges_added,omitempty"`
+	CopyOps       int `json:"copy_ops,omitempty"`
+	// Samples is the number of publish-stage sample graphs drawn.
+	Samples int `json:"samples,omitempty"`
+
+	// Error and FailedStage report a failed run: the error string and
+	// the stage it came from (when the failure was stage-shaped).
+	Error       string `json:"error,omitempty"`
+	FailedStage string `json:"failed_stage,omitempty"`
+
+	// Metrics is the run's obs snapshot (nil unless observability is
+	// enabled; process-cumulative, see Result.Metrics).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// StageSummary is one stage's wall time in milliseconds (duration_ms
+// rather than Go's nanosecond time.Duration, so the JSON is readable
+// and language-neutral).
+type StageSummary struct {
+	Stage      string  `json:"stage"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Summarize converts the run's outcome into its serializable Summary.
+// err is the error Run returned (nil for success); Run always returns a
+// non-nil Result, so Summarize(res, err) is total over Run's outcomes.
+func Summarize(res *Result, err error) *Summary {
+	s := &Summary{}
+	if res == nil {
+		res = &Result{}
+	}
+	s.PartitionMode = res.PartitionMode
+	if res.PartitionMode != "" {
+		s.Guarantee = res.PartitionMode.Guarantee()
+	}
+	s.Downgrades = res.Downgrades
+	for _, st := range res.Stages {
+		s.Stages = append(s.Stages, StageSummary{
+			Stage:      st.Stage,
+			DurationMS: float64(st.Duration) / float64(time.Millisecond),
+		})
+	}
+	if res.Graph != nil {
+		s.OriginalN = res.Graph.N()
+		s.OriginalM = res.Graph.M()
+	}
+	if a := res.Anonymized; a != nil {
+		s.OriginalN = a.OriginalN
+		s.OriginalM = a.OriginalM
+		s.AnonymizedN = a.Graph.N()
+		s.AnonymizedM = a.Graph.M()
+		s.VerticesAdded = a.VerticesAdded()
+		s.EdgesAdded = a.EdgesAdded()
+		s.CopyOps = a.CopyOps
+	}
+	s.Samples = len(res.Samples)
+	s.Metrics = res.Metrics
+	if err != nil {
+		s.Error = err.Error()
+		var se *StageError
+		if errors.As(err, &se) {
+			s.FailedStage = se.Stage
+		}
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ksymmetry/internal/datasets"
+)
+
+func TestSummarizeSuccess(t *testing.T) {
+	res, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res, nil)
+	if s.PartitionMode != res.PartitionMode {
+		t.Errorf("PartitionMode = %q, want %q", s.PartitionMode, res.PartitionMode)
+	}
+	if s.Guarantee == "" {
+		t.Error("Guarantee empty for a completed run")
+	}
+	if len(s.Stages) != len(res.Stages) {
+		t.Errorf("Stages = %d entries, want %d", len(s.Stages), len(res.Stages))
+	}
+	if s.OriginalN != res.Anonymized.OriginalN || s.AnonymizedN != res.Anonymized.Graph.N() {
+		t.Errorf("sizes: original %d anonymized %d", s.OriginalN, s.AnonymizedN)
+	}
+	if s.Error != "" || s.FailedStage != "" {
+		t.Errorf("error fields set on success: %q %q", s.Error, s.FailedStage)
+	}
+	// The summary must round-trip as JSON — it is ksymd's status payload.
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PartitionMode != s.PartitionMode || back.AnonymizedN != s.AnonymizedN {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, s)
+	}
+}
+
+func TestSummarizeFailure(t *testing.T) {
+	res, err := Run(context.Background(), Config{Graph: datasets.Fig3(), K: 0})
+	if err == nil {
+		t.Fatal("want anonymize-stage failure for k = 0")
+	}
+	s := Summarize(res, err)
+	if s.FailedStage != "anonymize" {
+		t.Errorf("FailedStage = %q, want anonymize", s.FailedStage)
+	}
+	if !strings.Contains(s.Error, "k must be") {
+		t.Errorf("Error = %q", s.Error)
+	}
+	// Stages completed before the failure still report their timings.
+	if len(s.Stages) < 2 {
+		t.Errorf("Stages = %+v, want load+partition at least", s.Stages)
+	}
+	if s.AnonymizedN != 0 {
+		t.Errorf("AnonymizedN = %d for failed run", s.AnonymizedN)
+	}
+	if s.OriginalN == 0 {
+		t.Error("OriginalN missing even though load completed")
+	}
+}
+
+func TestSummarizeNilResult(t *testing.T) {
+	s := Summarize(nil, context.Canceled)
+	if s.Error == "" {
+		t.Error("nil-result summary lost the error")
+	}
+}

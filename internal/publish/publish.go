@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ksymmetry/internal/atomicio"
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/ksym"
 	"ksymmetry/internal/partition"
@@ -196,17 +197,12 @@ func Read(rd io.Reader) (*Release, error) {
 	return rel, nil
 }
 
-// WriteFile writes the release to path.
+// WriteFile writes the release to path. The write is atomic (tmp file
+// + fsync + rename), so a crash mid-write never leaves a truncated
+// release at path — the release file is the published artifact, and a
+// half-written one would parse as a corrupt or incomplete graph.
 func (r *Release) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := r.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, r.Write)
 }
 
 // ReadFile loads a release from path.

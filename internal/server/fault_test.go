@@ -1,0 +1,305 @@
+// Fault-path suite for the daemon, run under -race -count=2 in CI:
+// backpressure (full queue → 429 + Retry-After), deadline downgrade
+// (tiny timeout → completed job on the 𝒯𝒟𝒱 rung), poison-request
+// isolation (a panicking job never kills the worker), idempotent
+// resubmission, and SIGTERM-style drain with goroutine-leak checks and
+// the <faulttest.Latency cancel bound.
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ksymmetry/internal/faulttest"
+	"ksymmetry/internal/pipeline"
+)
+
+// blockThenRun is a runPipeline seam that parks until release closes
+// (or the job context dies), then runs the real pipeline. started, when
+// non-nil, receives one token as the job enters.
+func blockThenRun(release <-chan struct{}, started chan<- struct{}) func(context.Context, pipeline.Config) (*pipeline.Result, error) {
+	return func(ctx context.Context, cfg pipeline.Config) (*pipeline.Result, error) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return &pipeline.Result{}, ctx.Err()
+		}
+		return pipeline.Run(ctx, cfg)
+	}
+}
+
+func TestBackpressureFullQueue(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueCapacity: 2, Workers: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.runPipeline = blockThenRun(release, started)
+	body := fig3Body(t)
+
+	// Job 1 occupies the worker; jobs 2 and 3 fill the queue.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202", i, code)
+		}
+		ids = append(ids, st.ID)
+		if i == 0 {
+			<-started // worker has pulled job 1 off the queue
+		}
+	}
+
+	// Admission control: the queue is full, the 4th submission is shed
+	// with 429 and a Retry-After hint — never queued unboundedly.
+	code, _, hdr := postJob(t, ts.URL+"/v1/anonymize?k=2", body, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d, want 429", code)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer ≥ 1", hdr.Get("Retry-After"))
+	}
+
+	// Releasing the brake drains the backlog completely.
+	close(release)
+	for _, id := range ids {
+		if j := waitDone(t, s, id); j.State() != JobDone {
+			t.Errorf("job %s = %s, want done", id, j.State())
+		}
+	}
+	// With capacity back, admission works again.
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-drain submit = %d, want 202", code)
+	}
+	waitDone(t, s, st.ID)
+}
+
+func TestDeadlineDowngradesToTDV(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// A 1ns deadline is blown before the partition stage starts: both
+	// orbit rungs fail fast and the ladder's bottom rung computes
+	// 𝒯𝒟𝒱(G) past the deadline — the job completes instead of failing.
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2&timeout=1ns", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	j := waitDone(t, s, st.ID)
+	if j.State() != JobDone {
+		t.Fatalf("state = %s, want done (summary %+v)", j.State(), j.summary)
+	}
+	sum := j.summary
+	if sum.PartitionMode != pipeline.ModeTDV {
+		t.Fatalf("partition mode = %q, want tdv", sum.PartitionMode)
+	}
+	if len(sum.Downgrades) == 0 {
+		t.Fatal("downgrade log empty for a blown deadline")
+	}
+}
+
+func TestPoisonRequestIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	var calls atomic.Int64
+	s.runPipeline = func(ctx context.Context, cfg pipeline.Config) (*pipeline.Result, error) {
+		calls.Add(1)
+		// k = 13 is the poison marker: panic *outside* the pipeline's
+		// own stage-recover boundary, straight in the worker.
+		if cfg.K == 13 {
+			panic("poison request")
+		}
+		return pipeline.Run(ctx, cfg)
+	}
+	body := fig3Body(t)
+
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=13", body, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("poison submit = %d, want 202", code)
+	}
+	j := waitDone(t, s, st.ID)
+	if j.State() != JobFailed {
+		t.Fatalf("poison job state = %s, want failed", j.State())
+	}
+	if sum := j.summary; sum == nil || !strings.Contains(sum.Error, "poison request") {
+		t.Fatalf("poison job summary lost the panic: %+v", j.summary)
+	}
+
+	// The daemon keeps serving: the very next request on the same
+	// worker completes.
+	code, st, _ = postJob(t, ts.URL+"/v1/anonymize?k=2", body, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("follow-up submit = %d, want 202", code)
+	}
+	if j := waitDone(t, s, st.ID); j.State() != JobDone {
+		t.Fatalf("follow-up job = %s, want done", j.State())
+	}
+	// The result endpoint for the poisoned job reports the failure.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ids0(t, s) + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("failed job result = %d, want 410", resp.StatusCode)
+	}
+}
+
+// ids0 returns the id of the oldest retained job.
+func ids0(t *testing.T, s *Server) string {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) == 0 {
+		t.Fatal("no jobs retained")
+	}
+	return s.order[0]
+}
+
+func TestIdempotentResubmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var runs atomic.Int64
+	s.runPipeline = func(ctx context.Context, cfg pipeline.Config) (*pipeline.Result, error) {
+		runs.Add(1)
+		return pipeline.Run(ctx, cfg)
+	}
+	body := fig3Body(t)
+	hdr := map[string]string{"Idempotency-Key": "retry-after-dropped-connection"}
+
+	code, first, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	waitDone(t, s, first.ID)
+
+	// The client's retry (same key) must return the same job without
+	// re-running the search — even after the first run finished.
+	code, second, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdr)
+	if code != http.StatusOK {
+		t.Fatalf("replay submit = %d, want 200", code)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("replay created a new job: %s vs %s", second.ID, first.ID)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("pipeline ran %d times, want 1", got)
+	}
+	// A different key is a different job.
+	code, third, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body,
+		map[string]string{"Idempotency-Key": "another"})
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh-key submit = %d, want 202", code)
+	}
+	if third.ID == first.ID {
+		t.Fatal("distinct keys shared a job")
+	}
+	waitDone(t, s, third.ID)
+}
+
+func TestGracefulDrainFinishesInFlight(t *testing.T) {
+	base := faulttest.Goroutines()
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	s.runPipeline = blockThenRun(release, started)
+
+	_, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	<-started
+
+	// Readiness flips the moment the drain starts, before the job is
+	// done.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Shutdown(ctx)
+	}()
+	waitReady := time.Now()
+	for !s.Draining() {
+		if time.Since(waitReady) > time.Second {
+			t.Fatal("drain never flipped the readiness flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	// New submissions are refused while the drain runs.
+	code, _, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", code)
+	}
+
+	// The in-flight job finishes normally under the drain deadline.
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("graceful drain returned %v", err)
+	}
+	if j := waitDone(t, s, st.ID); j.State() != JobDone {
+		t.Fatalf("in-flight job = %s, want done after graceful drain", j.State())
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	faulttest.AssertNoLeak(t, base)
+}
+
+func TestDrainCancelsStragglers(t *testing.T) {
+	base := faulttest.Goroutines()
+	s := New(Config{Workers: 1, QueueCapacity: 4})
+	ts := httptest.NewServer(s.Handler())
+	started := make(chan struct{}, 1)
+	// The straggler never finishes on its own: it only honors its
+	// context, like a real pipeline stuck in a deep orbit search.
+	s.runPipeline = func(ctx context.Context, _ pipeline.Config) (*pipeline.Result, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return &pipeline.Result{}, ctx.Err()
+	}
+	_, running, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	<-started
+	_, queued, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+
+	// A drain whose deadline is already gone must cancel the straggler
+	// and return within the fault-suite latency budget.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(expired)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("forced drain reported a clean finish")
+	}
+	if elapsed > faulttest.Latency {
+		t.Fatalf("forced drain took %v, want < %v", elapsed, faulttest.Latency)
+	}
+	if j := waitDone(t, s, running.ID); j.State() != JobCanceled {
+		t.Errorf("straggler = %s, want canceled", j.State())
+	}
+	if j := waitDone(t, s, queued.ID); j.State() != JobCanceled {
+		t.Errorf("queued job = %s, want canceled", j.State())
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	faulttest.AssertNoLeak(t, base)
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 3; i++ {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatalf("shutdown %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ksymmetry/internal/obs"
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET  /healthz                 liveness (200 while the process runs)
+//	GET  /readyz                  readiness (503 once draining)
+//	GET  /metrics                 live obs snapshot as sorted JSON
+//	POST /v1/anonymize            submit a job (edge-list body; params
+//	                              k, timeout, minimal, mode; optional
+//	                              Idempotency-Key header)
+//	GET  /v1/jobs/{id}            job status + pipeline summary
+//	GET  /v1/jobs/{id}/result     the release artifact (G′ + 𝒱′ + n)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.Default.WriteJSON(w)
+	})
+	mux.HandleFunc("POST /v1/anonymize", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	return mux
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Fast-fail before reading the body when draining: the client
+	// should talk to another replica, not upload megabytes first.
+	if s.draining.Load() {
+		obsRejectedDraining.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: errDraining.Error()})
+		return
+	}
+	req, err := parseRequest(r, s.cfg.MaxTimeout, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey == "" {
+		idemKey = r.URL.Query().Get("idempotency_key")
+	}
+	job, created, err := s.submit(req, idemKey)
+	switch {
+	case errors.Is(err, errQueueFull):
+		// Admission control: shed the load and tell the client when a
+		// slot should free up, estimated from recent per-job wall time.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter().Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if !created {
+		// Idempotent replay: the earlier submission answers this one.
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job.status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job (it may have been evicted from the bounded history)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job (it may have been evicted from the bounded history)"})
+		return
+	}
+	job.mu.Lock()
+	state, rel, sum := job.state, job.release, job.summary
+	job.mu.Unlock()
+	switch state {
+	case JobQueued, JobRunning:
+		// Not ready yet: 409 with the status body, so pollers can keep
+		// one URL.
+		writeJSON(w, http.StatusConflict, job.status())
+	case JobDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := rel.Write(w); err != nil {
+			// Headers are gone; the most we can do is abort the
+			// connection so the client sees a truncated transfer, not
+			// a clean EOF on a partial artifact.
+			panic(http.ErrAbortHandler)
+		}
+	default: // failed, canceled
+		msg := string(state)
+		if sum != nil && sum.Error != "" {
+			msg = sum.Error
+		}
+		writeJSON(w, http.StatusGone, apiError{Error: msg})
+	}
+}

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/pipeline"
+	"ksymmetry/internal/publish"
+	"ksymmetry/internal/validate"
+)
+
+// JobState is the lifecycle of one anonymization job.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing the pipeline.
+	JobRunning JobState = "running"
+	// JobDone: the pipeline completed; the release artifact is ready.
+	JobDone JobState = "done"
+	// JobFailed: the pipeline (or the worker around it) failed; the
+	// summary carries the error.
+	JobFailed JobState = "failed"
+	// JobCanceled: the server drained before the job could run to
+	// completion.
+	JobCanceled JobState = "canceled"
+)
+
+// jobRequest is a fully validated anonymization request: the graph is
+// parsed and the timeout clamped at admission time, so by the time a
+// job reaches a worker nothing about it can be malformed.
+type jobRequest struct {
+	k         int
+	minimal   bool
+	startMode pipeline.PartitionMode
+	timeout   time.Duration
+	graph     *graph.Graph
+}
+
+// Job is one queued/running/finished anonymization request.
+type Job struct {
+	id      string
+	idemKey string
+	req     jobRequest
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	summary   *pipeline.Summary
+	release   *publish.Release
+	// done closes when the job reaches a terminal state, so tests and
+	// drain logic can wait without polling.
+	done chan struct{}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel that closes when the job reaches a terminal
+// state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once; late calls
+// (e.g. a recover firing after an ordinary failure already landed) are
+// dropped.
+func (j *Job) finish(state JobState, sum *pipeline.Summary, rel *publish.Release) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.summary = sum
+	j.release = rel
+	close(j.done)
+}
+
+// terminal reports whether the job has finished (in any way), without
+// racing finish.
+func (j *Job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// jobStatus is the JSON body of GET /v1/jobs/{id} (and of the submit
+// response).
+type jobStatus struct {
+	ID          string            `json:"id"`
+	State       JobState          `json:"state"`
+	SubmittedAt time.Time         `json:"submitted_at"`
+	StartedAt   *time.Time        `json:"started_at,omitempty"`
+	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
+	StatusURL   string            `json:"status_url"`
+	ResultURL   string            `json:"result_url,omitempty"`
+	Summary     *pipeline.Summary `json:"summary,omitempty"`
+}
+
+func (j *Job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:          j.id,
+		State:       j.state,
+		SubmittedAt: j.submitted,
+		StatusURL:   "/v1/jobs/" + j.id,
+		Summary:     j.summary,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.state == JobDone {
+		st.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return st
+}
+
+// parseRequest validates a POST /v1/anonymize request into a
+// jobRequest: query parameters k, timeout, minimal, and mode, with the
+// edge-list graph as the body. It shares internal/validate with the
+// CLIs, so the HTTP boundary rejects exactly the garbage the flag
+// parsers do.
+func parseRequest(r *http.Request, maxTimeout time.Duration, maxBody int64) (jobRequest, error) {
+	var req jobRequest
+	q := r.URL.Query()
+
+	kStr := q.Get("k")
+	if kStr == "" {
+		return req, fmt.Errorf("missing required parameter k")
+	}
+	var k int
+	if _, err := fmt.Sscanf(kStr, "%d", &k); err != nil {
+		return req, fmt.Errorf("parameter k: %q is not an integer", kStr)
+	}
+	if err := validate.K(k); err != nil {
+		return req, err
+	}
+	req.k = k
+
+	var timeout time.Duration
+	if t := q.Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			return req, fmt.Errorf("parameter timeout: %v", err)
+		}
+		timeout = d
+	}
+	clamped, err := validate.Timeout("timeout", timeout, maxTimeout)
+	if err != nil {
+		return req, err
+	}
+	req.timeout = clamped
+
+	switch m := q.Get("minimal"); m {
+	case "", "false", "0":
+	case "true", "1":
+		req.minimal = true
+	default:
+		return req, fmt.Errorf("parameter minimal: %q is not a boolean", m)
+	}
+
+	switch mode := q.Get("mode"); mode {
+	case "", string(pipeline.ModeExact):
+		req.startMode = pipeline.ModeExact
+	case string(pipeline.ModeBudgeted):
+		req.startMode = pipeline.ModeBudgeted
+	case string(pipeline.ModeTDV):
+		req.startMode = pipeline.ModeTDV
+	default:
+		return req, fmt.Errorf("parameter mode: %q is not exact|budgeted|tdv", mode)
+	}
+
+	// Parse the graph at admission, not on the worker: a malformed body
+	// is the client's fault and deserves a synchronous 400, and a job
+	// that reaches the queue is guaranteed structurally sound.
+	body := http.MaxBytesReader(nil, r.Body, maxBody)
+	g, err := graph.Read(body)
+	if err != nil {
+		return req, fmt.Errorf("body: %v", err)
+	}
+	req.graph = g
+	return req, nil
+}

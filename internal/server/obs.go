@@ -1,0 +1,34 @@
+package server
+
+import "ksymmetry/internal/obs"
+
+// The "server" scope counts the daemon's admission and completion
+// events (DESIGN.md §8, §9). Like every obs hook these are no-ops
+// until obs.Enable — cmd/ksymd enables the registry at startup so
+// /metrics is always live.
+var (
+	serverScope = obs.Default.Scope("server")
+	// obsSubmitted counts admitted jobs (idempotent replays excluded).
+	obsSubmitted = serverScope.Counter("submitted")
+	// obsRejectedFull counts 429s from a full queue — the load the
+	// admission controller shed.
+	obsRejectedFull = serverScope.Counter("rejected_full")
+	// obsRejectedDraining counts 503s from submissions during drain.
+	obsRejectedDraining = serverScope.Counter("rejected_draining")
+	// obsIdemHits counts submissions answered by an existing job via
+	// an idempotency key.
+	obsIdemHits = serverScope.Counter("idempotent_hits")
+	// obsCompleted / obsFailed / obsCanceled count terminal states.
+	obsCompleted = serverScope.Counter("completed")
+	obsFailed    = serverScope.Counter("failed")
+	obsCanceled  = serverScope.Counter("canceled")
+	// obsPanics counts panics the worker's recover boundary absorbed
+	// (poison requests that got past the pipeline's own recover).
+	obsPanics = serverScope.Counter("panics")
+	// obsQueueDepth tracks the queued-job count at the last admission
+	// or completion event.
+	obsQueueDepth = serverScope.Gauge("queue_depth")
+	// obsJobWall accumulates finished jobs' wall times — the clock
+	// behind the 429 Retry-After estimate.
+	obsJobWall = serverScope.Timer("job_wall")
+)

@@ -1,0 +1,375 @@
+// Package server hosts the anonymization pipeline as a long-lived HTTP
+// daemon (cmd/ksymd) with production-grade failure handling:
+//
+//   - Admission control: a bounded job queue. At capacity a new
+//     submission is rejected with 429 and a Retry-After computed from
+//     the queue's recent per-job wall time, so overload sheds load
+//     instead of growing the heap until the OOM killer ends the
+//     process.
+//   - Per-request deadlines: the client's timeout parameter, clamped by
+//     the server maximum, becomes the pipeline context's deadline — the
+//     partition ladder degrades exact → budgeted → 𝒯𝒟𝒱 exactly as in
+//     batch mode, and the job status reports which rung the client
+//     actually got.
+//   - Graceful drain: Shutdown stops admission (readiness flips to
+//     503), lets in-flight jobs finish under the caller's drain
+//     deadline, then cancels stragglers through the pipeline's
+//     cancellation plumbing (microsecond-scale latency).
+//   - Panic isolation: the pipeline already converts stage panics into
+//     *StageError; the worker adds a recover boundary around everything
+//     else, so a poison request marks one job failed and the daemon
+//     keeps serving.
+//   - Idempotency keys: a client retry after a dropped connection
+//     returns the existing job instead of re-running the search.
+//
+// The serving state machine and job lifecycle are documented in
+// DESIGN.md §9.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ksymmetry/internal/pipeline"
+	"ksymmetry/internal/publish"
+)
+
+// Config configures the daemon. The zero value is usable: every field
+// has a production-shaped default.
+type Config struct {
+	// QueueCapacity bounds the number of admitted-but-not-yet-running
+	// jobs; at capacity new submissions get 429. Default 16.
+	QueueCapacity int
+	// Workers is the number of concurrent pipeline runs. Default 1 —
+	// one anonymization search saturates a core, so the default trades
+	// latency for predictable memory.
+	Workers int
+	// MaxTimeout clamps the client's timeout parameter; requests
+	// without a timeout get exactly MaxTimeout. Default 1 minute.
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the request body (the edge list). Default 64 MiB.
+	MaxBodyBytes int64
+	// MaxRetainedJobs bounds the finished-job history kept for status
+	// queries; the oldest finished jobs are evicted first. Queued and
+	// running jobs are never evicted. Default 1024.
+	MaxRetainedJobs int
+	// PipelineWorkers is handed to each pipeline run (orbit search
+	// and publish-stage sampling pools). Default 1.
+	PipelineWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 1024
+	}
+	if c.PipelineWorkers <= 0 {
+		c.PipelineWorkers = 1
+	}
+	return c
+}
+
+// recentWindow is the number of finished-job wall times the Retry-After
+// estimate averages over.
+const recentWindow = 16
+
+// Server is the daemon: a bounded job queue, a fixed worker pool, and
+// the HTTP surface from Handler.
+type Server struct {
+	cfg Config
+
+	// runPipeline is the job executor — pipeline.Run in production, a
+	// seam for the fault-injection tests.
+	runPipeline func(context.Context, pipeline.Config) (*pipeline.Result, error)
+
+	// baseCtx parents every job context; cancelJobs aborts all running
+	// pipelines during a forced drain.
+	baseCtx    context.Context
+	cancelJobs context.CancelFunc
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	queue    chan *Job
+	closed   bool // queue closed; no further sends allowed
+	jobs     map[string]*Job
+	order    []string // insertion order, for bounded retention
+	idem     map[string]*Job
+	nextID   uint64
+	inflight int // jobs admitted but not yet finished
+	// recent is a ring of the last finished jobs' wall times, feeding
+	// the Retry-After estimate. The wall times come from the same
+	// per-stage clocks the obs stage timers record.
+	recent  [recentWindow]time.Duration
+	recentN int
+}
+
+// New starts a server: the worker pool is live on return, and
+// Handler's routes can be served immediately. Callers own the
+// lifecycle: every New must be paired with a Shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		runPipeline: pipeline.Run,
+		baseCtx:     ctx,
+		cancelJobs:  cancel,
+		queue:       make(chan *Job, cfg.QueueCapacity),
+		jobs:        make(map[string]*Job),
+		idem:        make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Draining reports whether admission has stopped (readiness is 503).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errQueueFull is the admission-control rejection; the HTTP layer maps
+// it to 429 + Retry-After.
+var errQueueFull = errors.New("server: job queue at capacity")
+
+// errDraining is the drain rejection; the HTTP layer maps it to 503.
+var errDraining = errors.New("server: draining, not accepting jobs")
+
+// submit admits a job (or returns the existing one for a repeated
+// idempotency key). It never blocks: a full queue fails fast with
+// errQueueFull so the client can back off.
+func (s *Server) submit(req jobRequest, idemKey string) (*Job, bool, error) {
+	if s.draining.Load() {
+		obsRejectedDraining.Inc()
+		return nil, false, errDraining
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idemKey != "" {
+		if j, ok := s.idem[idemKey]; ok {
+			obsIdemHits.Inc()
+			return j, false, nil
+		}
+	}
+	// Checked again under the lock: Shutdown closes the queue under
+	// the same lock, so a send can never race the close.
+	if s.closed {
+		obsRejectedDraining.Inc()
+		return nil, false, errDraining
+	}
+	id := fmt.Sprintf("j%06d", s.nextID)
+	job := &Job{
+		id:        id,
+		idemKey:   idemKey,
+		req:       req,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		obsRejectedFull.Inc()
+		return nil, false, errQueueFull
+	}
+	s.nextID++
+	s.inflight++
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	if idemKey != "" {
+		s.idem[idemKey] = job
+	}
+	s.evictLocked()
+	obsSubmitted.Inc()
+	obsQueueDepth.Set(int64(len(s.queue)))
+	return job, true, nil
+}
+
+// job looks up a retained job by id.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// evictLocked trims the finished-job history to MaxRetainedJobs,
+// oldest first. Unfinished jobs are skipped — they are bounded by
+// QueueCapacity + Workers, so retention only ever needs to shed
+// history, never live work.
+func (s *Server) evictLocked() {
+	excess := len(s.jobs) - s.cfg.MaxRetainedJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j.terminal() {
+			delete(s.jobs, id)
+			if j.idemKey != "" {
+				delete(s.idem, j.idemKey)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// retryAfter estimates how long until a queue slot frees up: the mean
+// recent per-job wall time, scaled by the work ahead of a hypothetical
+// new job, divided across the worker pool. Rounded up to whole seconds
+// (the Retry-After header's granularity), minimum 1s.
+func (s *Server) retryAfter() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.recentN
+	if n > recentWindow {
+		n = recentWindow
+	}
+	if n == 0 {
+		return time.Second
+	}
+	var sum time.Duration
+	for _, d := range s.recent[:n] {
+		sum += d
+	}
+	perJob := sum / time.Duration(n)
+	ahead := s.inflight // queued + running jobs a newcomer waits behind
+	est := perJob * time.Duration(ahead) / time.Duration(s.cfg.Workers)
+	if est < time.Second {
+		return time.Second
+	}
+	// Ceil to seconds so the client never comes back early.
+	return (est + time.Second - 1).Truncate(time.Second)
+}
+
+// noteFinished records a finished job's wall time for the Retry-After
+// estimate and decrements the in-flight count.
+func (s *Server) noteFinished(d time.Duration) {
+	s.mu.Lock()
+	s.recent[s.recentN%recentWindow] = d
+	s.recentN++
+	s.inflight--
+	obsQueueDepth.Set(int64(len(s.queue)))
+	s.mu.Unlock()
+	obsJobWall.Observe(d)
+}
+
+// worker pulls jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job with panic isolation: anything the
+// pipeline's own *StageError recover boundary does not catch (a panic
+// in the executor seam, in result bundling, in the summary) is caught
+// here, fails this job alone, and leaves the worker alive.
+func (s *Server) runJob(job *Job) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			obsPanics.Inc()
+			obsFailed.Inc()
+			job.finish(JobFailed, &pipeline.Summary{Error: fmt.Sprintf("job panicked outside the pipeline: %v", p)}, nil)
+		}
+		s.noteFinished(time.Since(start))
+	}()
+
+	// A drain already past its deadline cancels baseCtx; jobs still in
+	// the queue are marked canceled without starting the pipeline.
+	if err := s.baseCtx.Err(); err != nil {
+		obsCanceled.Inc()
+		job.finish(JobCanceled, &pipeline.Summary{Error: "server shut down before the job ran"}, nil)
+		return
+	}
+	job.setRunning()
+
+	ctx := s.baseCtx
+	if job.req.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.req.timeout)
+		defer cancel()
+	}
+	res, err := s.runPipeline(ctx, pipeline.Config{
+		Graph:     job.req.graph,
+		K:         job.req.k,
+		Minimal:   job.req.minimal,
+		StartMode: job.req.startMode,
+		Workers:   s.cfg.PipelineWorkers,
+	})
+	sum := pipeline.Summarize(res, err)
+	if err != nil {
+		// Distinguish "the server is draining" from "the job failed":
+		// a cancellation that arrived from baseCtx is the server's
+		// doing, not the request's.
+		if errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil {
+			obsCanceled.Inc()
+			job.finish(JobCanceled, sum, nil)
+			return
+		}
+		obsFailed.Inc()
+		job.finish(JobFailed, sum, nil)
+		return
+	}
+	obsCompleted.Inc()
+	job.finish(JobDone, sum, publish.FromResult(res.Anonymized))
+}
+
+// Shutdown drains the server: admission stops immediately (readiness
+// flips to 503), in-flight and queued jobs get until ctx's deadline to
+// finish, and any stragglers are then cancelled through the pipeline's
+// context plumbing — the cancel-to-return latency is bounded by the
+// kernels' amortized polls (µs-scale; the fault suite pins it under
+// internal/faulttest.Latency). Shutdown is idempotent and always waits
+// for the worker pool to exit, so after it returns no server goroutine
+// is left behind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelJobs()
+		<-done
+	}
+	// Release the base context either way (the graceful path never
+	// fired it).
+	s.cancelJobs()
+	return err
+}

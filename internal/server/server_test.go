@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ksymmetry/internal/datasets"
+	"ksymmetry/internal/ksym"
+	"ksymmetry/internal/publish"
+)
+
+// fig3Body renders the paper's Figure 3 worked example as an edge-list
+// request body.
+func fig3Body(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := datasets.Fig3().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// newTestServer starts a Server plus its httptest front end. The
+// cleanup drains the server and closes the listener even when the test
+// forgot, so no test leaks workers into the next.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// postJob submits body and decodes the response.
+func postJob(t *testing.T, url, body string, header map[string]string) (int, jobStatus, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	data, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(data, &st)
+	return resp.StatusCode, st, resp.Header
+}
+
+// waitDone blocks until the job reaches a terminal state.
+func waitDone(t *testing.T, s *Server, id string) *Job {
+	t.Helper()
+	j, ok := s.job(id)
+	if !ok {
+		t.Fatalf("job %s not retained", id)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s never finished (state %s)", id, j.State())
+	}
+	return j
+}
+
+func TestSubmitStatusResult(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	if st.ID == "" || st.StatusURL == "" {
+		t.Fatalf("submit response incomplete: %+v", st)
+	}
+	waitDone(t, s, st.ID)
+
+	resp, err := http.Get(ts.URL + st.StatusURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.State != JobDone {
+		t.Fatalf("state = %s, want done (summary %+v)", got.State, got.Summary)
+	}
+	if got.Summary == nil || got.Summary.PartitionMode == "" {
+		t.Fatalf("done job missing pipeline summary: %+v", got)
+	}
+	if got.Summary.AnonymizedN < got.Summary.OriginalN {
+		t.Fatalf("anonymized smaller than input: %+v", got.Summary)
+	}
+
+	// The result endpoint serves a parseable release whose partition
+	// meets the k = 2 guarantee.
+	resp, err = http.Get(ts.URL + got.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d, want 200", resp.StatusCode)
+	}
+	rel, err := publish.Read(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("result did not parse as a release: %v", err)
+	}
+	if !ksym.IsKSymmetric(rel.Partition, 2) {
+		t.Fatal("published partition does not meet k = 2")
+	}
+}
+
+func TestValidationRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := fig3Body(t)
+	cases := []struct {
+		name, url, body string
+	}{
+		{"missing k", "/v1/anonymize", body},
+		{"k below 2", "/v1/anonymize?k=1", body},
+		{"k garbage", "/v1/anonymize?k=five", body},
+		{"bad timeout", "/v1/anonymize?k=2&timeout=-3s", body},
+		{"bad mode", "/v1/anonymize?k=2&mode=warp", body},
+		{"bad minimal", "/v1/anonymize?k=2&minimal=maybe", body},
+		{"empty body", "/v1/anonymize?k=2", ""},
+		{"malformed body", "/v1/anonymize?k=2", "2 1\n0 1 extra\n"},
+	}
+	for _, c := range cases {
+		code, _, _ := postJob(t, ts.URL+c.url, c.body, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400", c.name, code)
+		}
+	}
+}
+
+func TestHealthAndUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for path, want := range map[string]int{
+		"/healthz":           http.StatusOK,
+		"/readyz":            http.StatusOK,
+		"/metrics":           http.StatusOK,
+		"/v1/jobs/jNOSUCH":   http.StatusNotFound,
+		"/v1/jobs/j0/result": http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestResultBeforeDone(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	s.runPipeline = blockThenRun(release, nil)
+	_, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of unfinished job = %d, want 409", resp.StatusCode)
+	}
+	close(release)
+	waitDone(t, s, st.ID)
+}
+
+func TestRetentionEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxRetainedJobs: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		waitDone(t, s, st.ID)
+		ids = append(ids, st.ID)
+	}
+	// Submitting one more evicts history beyond the cap.
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("final submit = %d", code)
+	}
+	waitDone(t, s, st.ID)
+	if _, ok := s.job(ids[0]); ok {
+		t.Error("oldest finished job survived eviction past the cap")
+	}
+	if _, ok := s.job(st.ID); !ok {
+		t.Error("newest job missing")
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRetryAfterEstimate(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	if got := s.retryAfter(); got != time.Second {
+		t.Errorf("cold retryAfter = %v, want 1s floor", got)
+	}
+	// Six finished jobs at 10s each, 3 in flight, 2 workers →
+	// 10s * 3 / 2 = 15s.
+	for i := 0; i < 6; i++ {
+		s.noteFinished(10 * time.Second)
+	}
+	s.mu.Lock()
+	s.inflight = 3
+	s.mu.Unlock()
+	if got := s.retryAfter(); got != 15*time.Second {
+		t.Errorf("retryAfter = %v, want 15s", got)
+	}
+}

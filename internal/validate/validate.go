@@ -1,0 +1,67 @@
+// Package validate holds the boundary checks shared by the CLIs and
+// the ksymd request validator: anonymity parameters, sample fractions,
+// worker/sample counts, and timeout clamping. Centralizing them keeps
+// the rule in one place — a flag parsed by cmd/ksym and a query
+// parameter parsed by internal/server reject exactly the same garbage
+// with the same one-line message, instead of propagating it into the
+// kernels where it surfaces as a panic or a nonsense result.
+package validate
+
+import (
+	"fmt"
+	"time"
+)
+
+// K rejects anonymity parameters below 2: k = 1 asks for no anonymity
+// at all (every orbit already has ≥ 1 vertex) and k ≤ 0 is garbage
+// that the kernels would otherwise drag along until an allocation or
+// modulo blows up.
+func K(k int) error {
+	if k < 2 {
+		return fmt.Errorf("k must be ≥ 2 (k-symmetry with k < 2 protects nothing), got %d", k)
+	}
+	return nil
+}
+
+// Fraction rejects fractions outside (0, 1]. name labels the offending
+// flag or parameter in the error.
+func Fraction(name string, f float64) error {
+	if f <= 0 || f > 1 {
+		return fmt.Errorf("%s must be in (0, 1], got %g", name, f)
+	}
+	return nil
+}
+
+// NonNegative rejects negative counts (-samples, -workers, -count).
+func NonNegative(name string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("%s must be ≥ 0, got %d", name, n)
+	}
+	return nil
+}
+
+// Positive rejects counts below 1 (an original vertex count, a queue
+// capacity).
+func Positive(name string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("%s must be ≥ 1, got %d", name, n)
+	}
+	return nil
+}
+
+// Timeout rejects negative timeouts and clamps the requested value to
+// max (0 means "no request", which max replaces when it is set). Both
+// the accepted request and ksymd's per-job deadline go through this, so
+// a client cannot hold a worker longer than the server allows.
+func Timeout(name string, d, max time.Duration) (time.Duration, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("%s must be ≥ 0, got %v", name, d)
+	}
+	if d == 0 {
+		return max, nil
+	}
+	if max > 0 && d > max {
+		return max, nil
+	}
+	return d, nil
+}

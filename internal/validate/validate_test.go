@@ -1,0 +1,71 @@
+package validate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestK(t *testing.T) {
+	for _, k := range []int{-5, 0, 1} {
+		if err := K(k); err == nil {
+			t.Errorf("K(%d) accepted", k)
+		}
+	}
+	for _, k := range []int{2, 5, 1000} {
+		if err := K(k); err != nil {
+			t.Errorf("K(%d) rejected: %v", k, err)
+		}
+	}
+}
+
+func TestFraction(t *testing.T) {
+	for _, f := range []float64{-0.1, 0, 1.0001, 2} {
+		if err := Fraction("f", f); err == nil {
+			t.Errorf("Fraction(%g) accepted", f)
+		}
+	}
+	for _, f := range []float64{0.0001, 0.5, 1} {
+		if err := Fraction("f", f); err != nil {
+			t.Errorf("Fraction(%g) rejected: %v", f, err)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	if err := NonNegative("n", -1); err == nil {
+		t.Error("NonNegative(-1) accepted")
+	}
+	if err := NonNegative("n", 0); err != nil {
+		t.Errorf("NonNegative(0) rejected: %v", err)
+	}
+	if err := Positive("n", 0); err == nil {
+		t.Error("Positive(0) accepted")
+	}
+	if err := Positive("n", 1); err != nil {
+		t.Errorf("Positive(1) rejected: %v", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	cases := []struct {
+		d, max, want time.Duration
+		wantErr      bool
+	}{
+		{d: -time.Second, max: time.Minute, wantErr: true},
+		{d: 0, max: time.Minute, want: time.Minute},           // no request → server max
+		{d: 0, max: 0, want: 0},                               // no request, no max → unbounded
+		{d: time.Hour, max: time.Minute, want: time.Minute},   // clamped
+		{d: time.Second, max: time.Minute, want: time.Second}, // within max
+		{d: time.Second, max: 0, want: time.Second},           // no max
+	}
+	for _, c := range cases {
+		got, err := Timeout("timeout", c.d, c.max)
+		if c.wantErr != (err != nil) {
+			t.Errorf("Timeout(%v, %v) err = %v, wantErr = %v", c.d, c.max, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Timeout(%v, %v) = %v, want %v", c.d, c.max, got, c.want)
+		}
+	}
+}

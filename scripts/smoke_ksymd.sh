@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the ksymd daemon (the CI "ksymd-smoke" job):
+# build the binaries, start the daemon, fire concurrent anonymization
+# requests against the examples/ inputs, check /healthz and /metrics,
+# SIGTERM it, and assert a clean drain — exit code 0, every job
+# answered, every output artifact complete (parses as a release), and
+# no "*.tmp" debris from the atomic writers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${KSYMD_SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+trap 'kill "${KSYMD_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/bin/" ./cmd/...
+
+echo "== start ksymd"
+"$WORK/bin/ksymd" -addr "127.0.0.1:${PORT}" -workers 2 -queue 8 \
+  -max-timeout 30s -drain-timeout 20s 2>"$WORK/ksymd.log" &
+KSYMD_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$KSYMD_PID" || { cat "$WORK/ksymd.log"; echo "ksymd died at startup"; exit 1; }
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+curl -fsS "$BASE/metrics" | python3 -c 'import json,sys; json.load(sys.stdin)'
+
+echo "== submit concurrent jobs from examples/data"
+JOBS=6
+ids=()
+curl_pids=()
+for i in $(seq 1 "$JOBS"); do
+  input=examples/data/ba200.edges
+  [ $((i % 2)) -eq 0 ] && input=examples/data/fig3.edges
+  curl -fsS "$BASE/v1/anonymize?k=5&timeout=20s" \
+    -H "Idempotency-Key: smoke-$i" \
+    --data-binary @"$input" -o "$WORK/submit_$i.json" &
+  curl_pids+=("$!")
+done
+# Wait on the curls alone — a bare `wait` would also wait on the
+# daemon itself.
+for pid in "${curl_pids[@]}"; do wait "$pid"; done
+for i in $(seq 1 "$JOBS"); do
+  ids+=("$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/submit_$i.json")")
+done
+
+echo "== idempotent replay returns the original job"
+curl -fsS "$BASE/v1/anonymize?k=5&timeout=20s" -H "Idempotency-Key: smoke-1" \
+  --data-binary @examples/data/ba200.edges -o "$WORK/replay.json"
+python3 - "$WORK/replay.json" "${ids[0]}" <<'EOF'
+import json, sys
+got = json.load(open(sys.argv[1]))["id"]
+assert got == sys.argv[2], f"replay created a new job: {got} != {sys.argv[2]}"
+EOF
+
+echo "== wait for completion and fetch results"
+for idx in "${!ids[@]}"; do
+  id="${ids[$idx]}"
+  for _ in $(seq 1 200); do
+    state="$(curl -fsS "$BASE/v1/jobs/$id" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+    [ "$state" = done ] && break
+    if [ "$state" = failed ] || [ "$state" = canceled ]; then
+      curl -fsS "$BASE/v1/jobs/$id"; echo "job $id reached $state"; exit 1
+    fi
+    sleep 0.1
+  done
+  [ "$state" = done ] || { echo "job $id stuck in $state"; exit 1; }
+  curl -fsS "$BASE/v1/jobs/$id/result" -o "$WORK/result_$idx.release"
+  # A truncated or corrupt release fails ksample's strict parser.
+  "$WORK/bin/ksample" -release "$WORK/result_$idx.release" -count 1 >/dev/null
+done
+
+echo "== metrics reflect the work"
+curl -fsS "$BASE/metrics" -o "$WORK/metrics.json"
+python3 - "$WORK/metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m.get("server.completed", 0) >= 6, m.get("server.completed")
+assert m.get("server.idempotent_hits", 0) >= 1, m.get("server.idempotent_hits")
+assert m.get("pipeline.runs", 0) >= 6, m.get("pipeline.runs")
+EOF
+
+echo "== SIGTERM drain"
+kill -TERM "$KSYMD_PID"
+rc=0; wait "$KSYMD_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then cat "$WORK/ksymd.log"; echo "ksymd exited $rc"; exit 1; fi
+grep -q "drained, exiting" "$WORK/ksymd.log"
+
+echo "== no atomic-write debris"
+if find . "$WORK" -name '*.tmp' | grep -q .; then
+  echo "leftover tmp files:"; find . "$WORK" -name '*.tmp'; exit 1
+fi
+
+echo "ksymd smoke OK: $JOBS jobs, clean drain, complete artifacts"
