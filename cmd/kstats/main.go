@@ -30,41 +30,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: kstats [-pairs N] [-seed S] graph.edges [other.edges]")
 		os.Exit(2)
 	}
-	graphs := make([]*graph.Graph, flag.NArg())
+	graphs := make([]*graph.CSR, flag.NArg())
 	for i, path := range flag.Args() {
-		g, err := graph.ReadFile(path)
+		// Stream straight into the frozen CSR view: at the million-node
+		// tiers this skips the mutable builder entirely.
+		c, err := graph.ReadCSRFile(path)
 		if err != nil {
 			fatal(err)
 		}
-		graphs[i] = g
-		describe(path, g, *pairs, *seed)
+		graphs[i] = c
+		describe(path, c, *pairs, *seed)
 	}
 	if len(graphs) == 2 {
 		rng := rand.New(rand.NewSource(*seed))
 		a, b := graphs[0], graphs[1]
 		fmt.Println("Kolmogorov-Smirnov distances (first vs second):")
-		fmt.Printf("  degree:      %.4f\n", stats.KolmogorovSmirnov(stats.DegreeSample(a), stats.DegreeSample(b)))
-		ap := stats.PathLengthSample(a, *pairs, rng)
-		bp := stats.PathLengthSample(b, *pairs, rng)
+		fmt.Printf("  degree:      %.4f\n", stats.KolmogorovSmirnov(stats.DegreeSampleCSR(a), stats.DegreeSampleCSR(b)))
+		ap := stats.PathLengthSampleCSR(a, *pairs, rng)
+		bp := stats.PathLengthSampleCSR(b, *pairs, rng)
 		if ap.Len() > 0 && bp.Len() > 0 {
 			fmt.Printf("  path length: %.4f\n", stats.KolmogorovSmirnov(ap, bp))
 		}
-		fmt.Printf("  clustering:  %.4f\n", stats.KolmogorovSmirnov(stats.ClusteringSample(a), stats.ClusteringSample(b)))
+		fmt.Printf("  clustering:  %.4f\n", stats.KolmogorovSmirnov(stats.ClusteringSampleCSR(a), stats.ClusteringSampleCSR(b)))
 	}
 }
 
-func describe(name string, g *graph.Graph, pairs int, seed int64) {
-	s := stats.Summarize(name, g)
+func describe(name string, g *graph.CSR, pairs int, seed int64) {
+	s := stats.SummarizeCSR(name, g)
 	fmt.Printf("%s: %d vertices, %d edges, degree min/median/avg/max = %d/%d/%.2f/%d\n",
 		s.Name, s.Vertices, s.Edges, s.MinDeg, s.MedianDeg, s.AvgDeg, s.MaxDeg)
 	fmt.Printf("  connected: %v (largest component %d)\n", g.IsConnected(), g.LargestComponentSize())
-	fmt.Printf("  mean clustering coefficient: %.4f\n", stats.GlobalClustering(g))
+	fmt.Printf("  mean clustering coefficient: %.4f\n", stats.GlobalClusteringCSR(g))
 	rng := rand.New(rand.NewSource(seed))
-	pl := stats.PathLengthSample(g, pairs, rng)
+	pl := stats.PathLengthSampleCSR(g, pairs, rng)
 	if pl.Len() > 0 {
 		fmt.Printf("  mean shortest path (over %d sampled pairs): %.2f\n", pl.Len(), pl.Mean())
 	}
-	hist := stats.DegreeHistogram(g)
+	hist := stats.DegreeHistogramCSR(g)
 	fmt.Printf("  degree histogram (deg:count):")
 	printed := 0
 	for d, c := range hist {
@@ -81,7 +83,7 @@ func describe(name string, g *graph.Graph, pairs int, seed int64) {
 	fmt.Println()
 	fracs := []float64{0, 0.05, 0.1, 0.2, 0.4}
 	fmt.Printf("  resilience at removal fractions %v:", fracs)
-	for _, r := range stats.Resilience(g, fracs) {
+	for _, r := range stats.ResilienceCSR(g, fracs) {
 		fmt.Printf(" %.3f", r)
 	}
 	fmt.Println()

@@ -4,26 +4,88 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"ksymmetry/internal/graph"
 )
 
 // ErdosRenyiGM returns a G(n,m) random graph: m distinct edges drawn
 // uniformly.
+//
+// Below a quarter of the maximum density the draw loop is the seeded
+// rejection sampler this generator has always used, so existing
+// calibrated graphs are byte-identical. At or above it — where
+// per-draw AddEdge dedup (two binary searches plus a sorted insert per
+// accepted edge) and the coupon-collector rejection rate both degrade —
+// candidate edges are drawn in batches sized by the inverse acceptance
+// rate, sort-deduped, and realized in one bulk build.
 func ErdosRenyiGM(n, m int, seed int64) *graph.Graph {
-	if m > n*(n-1)/2 {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
 		panic(fmt.Sprintf("datasets: m=%d exceeds maximum for n=%d", m, n))
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
-	for g.M() < m {
-		u := rng.Intn(n)
-		v := rng.Intn(n)
-		if u != v {
-			g.AddEdge(u, v)
+	if 4*m < maxM {
+		g := graph.New(n)
+		for g.M() < m {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
 		}
+		return g
 	}
-	return g
+	// Dense path. keys holds the distinct edges found so far, sorted by
+	// the canonical u·n+v encoding (u < v). Each round draws enough
+	// candidates that, at the current acceptance rate, it expects to
+	// close the remaining gap, then folds the batch in by sort + dedup +
+	// merge — O(batch log batch) instead of per-draw adjacency searches.
+	keys := make([]int64, 0, m)
+	batch := make([]int64, 0, m+m/8)
+	for len(keys) < m {
+		need := m - len(keys)
+		accept := float64(maxM-len(keys)) / float64(maxM)
+		want := int(float64(need)/accept) + need/8 + 8
+		batch = batch[:0]
+		for i := 0; i < want; i++ {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			batch = append(batch, int64(u)*int64(n)+int64(v))
+		}
+		slices.Sort(batch)
+		batch = slices.Compact(batch)
+		// Drop candidates already kept, then merge the two sorted lists.
+		fresh := batch[:0]
+		for _, k := range batch {
+			if _, found := slices.BinarySearch(keys, k); !found {
+				fresh = append(fresh, k)
+			}
+		}
+		if len(fresh) > need {
+			// Keeping a prefix of a *sorted* batch would bias toward
+			// low-index edges; drop a uniform subset instead.
+			for len(fresh) > need {
+				i := rng.Intn(len(fresh))
+				fresh = append(fresh[:i], fresh[i+1:]...)
+			}
+		}
+		keys = append(keys, fresh...)
+		slices.Sort(keys)
+	}
+	us := make([]int32, m)
+	vs := make([]int32, m)
+	for i, k := range keys {
+		us[i] = int32(k / int64(n))
+		vs[i] = int32(k % int64(n))
+	}
+	return graph.FromEdgeEndpoints(n, us, vs)
 }
 
 // BarabasiAlbert returns a preferential-attachment graph: starting from
@@ -35,15 +97,22 @@ func BarabasiAlbert(n, m0, m int, seed int64) *graph.Graph {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.New(n)
-	// Repeated-endpoint list implements degree-proportional choice.
-	var stubs []int
+	// Repeated-endpoint list implements degree-proportional choice. Its
+	// final length is known up front — two stubs per path edge plus two
+	// per attachment — so one allocation covers the whole growth run
+	// instead of log₂(2mn) doublings. The scratch membership set is a
+	// reused []bool cleared through targets (at most m entries per
+	// vertex), not a fresh map per vertex; neither change touches the
+	// rng draw sequence, so seeded graphs are byte-identical.
+	stubs := make([]int, 0, 2*(m0-1)+2*m*(n-m0))
 	for i := 0; i+1 < m0; i++ {
 		g.AddEdge(i, i+1)
 		stubs = append(stubs, i, i+1)
 	}
+	chosen := make([]bool, n)
+	targets := make([]int, 0, m)
 	for v := m0; v < n; v++ {
-		chosen := map[int]bool{}
-		var targets []int
+		targets = targets[:0]
 		for len(targets) < m {
 			u := stubs[rng.Intn(len(stubs))]
 			if u != v && !chosen[u] {
@@ -54,6 +123,7 @@ func BarabasiAlbert(n, m0, m int, seed int64) *graph.Graph {
 		for _, u := range targets {
 			g.AddEdge(u, v)
 			stubs = append(stubs, u, v)
+			chosen[u] = false
 		}
 	}
 	return g
@@ -191,8 +261,19 @@ func connect(g *graph.Graph, rng *rand.Rand) {
 // never touched) until the edge count reaches target or the attempt
 // budget runs out. It compensates for the bridges connect() adds.
 func trimEdges(g *graph.Graph, target, protect int, rng *rand.Rand) {
+	if g.M() <= target {
+		return
+	}
+	// The lexicographic edge list is materialized once and maintained
+	// incrementally: a skipped or restored edge leaves it untouched, a
+	// committed removal deletes one entry in place. Each rng.Intn draw
+	// therefore indexes exactly the list the old rebuild-per-attempt
+	// loop would have rebuilt, so the draw sequence — and every
+	// calibrated network — is byte-identical, without the O(M)
+	// allocation per attempt that dominated generator wall time at the
+	// million-edge tiers.
+	es := g.Edges()
 	for attempts := 20 * (g.M() - target); attempts > 0 && g.M() > target; attempts-- {
-		es := g.Edges()
 		e := es[rng.Intn(len(es))]
 		u, v := e[0], e[1]
 		if u == protect || v == protect || g.Degree(u) < 2 || g.Degree(v) < 2 {
@@ -201,7 +282,15 @@ func trimEdges(g *graph.Graph, target, protect int, rng *rand.Rand) {
 		g.RemoveEdge(u, v)
 		if g.ShortestPathLength(u, v) < 0 {
 			g.AddEdge(u, v) // was a bridge; put it back
+			continue
 		}
+		i, _ := slices.BinarySearchFunc(es, e, func(a, b [2]int) int {
+			if a[0] != b[0] {
+				return a[0] - b[0]
+			}
+			return a[1] - b[1]
+		})
+		es = append(es[:i], es[i+1:]...)
 	}
 }
 

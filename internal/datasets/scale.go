@@ -1,0 +1,47 @@
+package datasets
+
+import (
+	"fmt"
+
+	"ksymmetry/internal/graph"
+)
+
+// ScaleTier names one rung of the million-node bench ladder. The three
+// shipped tiers (300k, 1M, 3M vertices) are the scales ROADMAP item 1
+// targets: large enough that per-vertex slice headers dominate the old
+// adjacency representation, small enough that one tier fits comfortably
+// in memory as a frozen CSR view (8 bytes per directed edge).
+type ScaleTier struct {
+	Name string
+	N    int
+}
+
+// ScaleTiers returns the bench ladder, smallest first.
+func ScaleTiers() []ScaleTier {
+	return []ScaleTier{
+		{Name: "300k", N: 300_000},
+		{Name: "1M", N: 1_000_000},
+		{Name: "3M", N: 3_000_000},
+	}
+}
+
+// ScaleModels returns the generator model names in presentation order.
+func ScaleModels() []string { return []string{"BA", "ER", "WS"} }
+
+// ScaleGraph generates one bench dataset: model ∈ {BA, ER, WS} at n
+// vertices. The parameters are fixed per model — BA(m0=3, m=3) for a
+// hub-heavy preferential-attachment graph (≈3n edges), ER with m=2n
+// uniform edges, WS(k=4, beta=0.05) for a near-lattice with long-range
+// shortcuts (2n edges) — so a (model, n, seed) triple is a fully
+// reproducible dataset name.
+func ScaleGraph(model string, n int, seed int64) *graph.Graph {
+	switch model {
+	case "BA":
+		return BarabasiAlbert(n, 3, 3, seed)
+	case "ER":
+		return ErdosRenyiGM(n, 2*n, seed)
+	case "WS":
+		return WattsStrogatz(n, 4, 0.05, seed)
+	}
+	panic(fmt.Sprintf("datasets: unknown scale model %q", model))
+}

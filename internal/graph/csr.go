@@ -1,0 +1,414 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+)
+
+// CSR is a frozen compressed-sparse-row view of an undirected simple
+// graph: vertex v's sorted neighbor list is adj[off[v]:off[v+1]], held
+// in two flat []int32 arrays. Compared to the per-vertex [][]int
+// adjacency of Graph it removes one heap object and one pointer
+// indirection per vertex, which is what the read-only hot kernels
+// (refinement splitter scans, backbone classification, the sampling
+// DFS, graph statistics) spend their time on at the 10⁶–10⁷ vertex
+// tiers: neighbor scans walk one contiguous array instead of chasing
+// N slice headers.
+//
+// A CSR is immutable. Build one with NewCSR from a *Graph (the mutable
+// builder used by generators and orbit copying), or stream one straight
+// from an edge-list file with ReadCSR, which never goes through the
+// per-edge sorted-insert path. Neighbor order is identical to the
+// *Graph it mirrors, so every deterministic kernel produces
+// byte-identical output on either representation.
+type CSR struct {
+	off    []int32 // len N()+1; row v is adj[off[v]:off[v+1]]
+	adj    []int32 // len 2·M(); each row sorted ascending
+	maxDeg int
+}
+
+// maxCSRAdj bounds the total adjacency length (2·M) so row offsets fit
+// in int32.
+const maxCSRAdj = math.MaxInt32
+
+// NewCSR freezes g into a CSR view. The view shares no memory with g:
+// later mutations of g are not reflected. It panics when 2·M exceeds
+// the int32 offset range.
+func NewCSR(g *Graph) *CSR {
+	n := g.N()
+	if 2*g.M() > maxCSRAdj {
+		panic(fmt.Sprintf("graph: %d edges exceed the CSR int32 offset range", g.M()))
+	}
+	c := &CSR{
+		off: make([]int32, n+1),
+		adj: make([]int32, 2*g.M()),
+	}
+	w := 0
+	for v := 0; v < n; v++ {
+		row := g.adj[v]
+		if len(row) > c.maxDeg {
+			c.maxDeg = len(row)
+		}
+		c.off[v] = int32(w)
+		for _, u := range row {
+			c.adj[w] = int32(u)
+			w++
+		}
+	}
+	c.off[n] = int32(w)
+	return c
+}
+
+// N returns the number of vertices.
+func (c *CSR) N() int { return len(c.off) - 1 }
+
+// M returns the number of edges.
+func (c *CSR) M() int { return len(c.adj) / 2 }
+
+// Degree returns |N(v)|.
+func (c *CSR) Degree(v int) int { return int(c.off[v+1] - c.off[v]) }
+
+// Neighbors returns the sorted neighbor row of v. The returned slice
+// aliases the CSR's backing array and must not be modified.
+func (c *CSR) Neighbors(v int) []int32 { return c.adj[c.off[v]:c.off[v+1]] }
+
+// Rows exposes the raw offset and adjacency arrays for kernels that
+// want to cache them across many row accesses. Both are read-only.
+func (c *CSR) Rows() (off, adj []int32) { return c.off, c.adj }
+
+// HasEdge reports whether {u,v} is an edge.
+func (c *CSR) HasEdge(u, v int) bool {
+	row := c.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return i < len(row) && row[i] == int32(v)
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (c *CSR) MaxDegree() int { return c.maxDeg }
+
+// MinDegree returns the minimum vertex degree (0 for the empty graph).
+func (c *CSR) MinDegree() int {
+	if c.N() == 0 {
+		return 0
+	}
+	min := c.Degree(0)
+	for v := 1; v < c.N(); v++ {
+		if d := c.Degree(v); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the mean vertex degree, 2M/N.
+func (c *CSR) AvgDegree() float64 {
+	if c.N() == 0 {
+		return 0
+	}
+	return float64(len(c.adj)) / float64(c.N())
+}
+
+// DegreeSequence returns the multiset of vertex degrees in ascending
+// order.
+func (c *CSR) DegreeSequence() []int {
+	ds := make([]int, c.N())
+	for v := range ds {
+		ds[v] = c.Degree(v)
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// MedianDegree returns the median of the degree sequence (lower median
+// for even N).
+func (c *CSR) MedianDegree() int {
+	if c.N() == 0 {
+		return 0
+	}
+	ds := c.DegreeSequence()
+	return ds[(len(ds)-1)/2]
+}
+
+// VerticesByDegreeDesc returns all vertices sorted by descending
+// degree, ties broken by ascending index (the same deterministic hub
+// ordering as Graph.VerticesByDegreeDesc).
+func (c *CSR) VerticesByDegreeDesc() []int {
+	vs := make([]int, c.N())
+	for i := range vs {
+		vs[i] = i
+	}
+	sort.Slice(vs, func(a, b int) bool {
+		da, db := c.Degree(vs[a]), c.Degree(vs[b])
+		if da != db {
+			return da > db
+		}
+		return vs[a] < vs[b]
+	})
+	return vs
+}
+
+// Graph inflates the CSR back into a mutable *Graph. The result shares
+// no memory with the CSR.
+func (c *CSR) Graph() *Graph {
+	n := c.N()
+	backing := make([]int, len(c.adj))
+	g := &Graph{adj: make([][]int, n), m: c.M()}
+	for v := 0; v < n; v++ {
+		s, e := c.off[v], c.off[v+1]
+		row := backing[s:e:e]
+		for i := s; i < e; i++ {
+			row[i-s] = int(c.adj[i])
+		}
+		g.adj[v] = row
+	}
+	return g
+}
+
+// Edges returns all edges as {u,v} pairs with u < v, in lexicographic
+// order.
+func (c *CSR) Edges() [][2]int {
+	es := make([][2]int, 0, c.M())
+	for v := 0; v < c.N(); v++ {
+		for _, w := range c.Neighbors(v) {
+			if int32(v) < w {
+				es = append(es, [2]int{v, int(w)})
+			}
+		}
+	}
+	return es
+}
+
+// InducedSubgraph returns the mutable subgraph induced by the given
+// vertex set, together with origOf mapping each new vertex index to its
+// original index. Duplicate vertices in vs panic. The rows are built in
+// bulk (fill then sort) instead of per-edge sorted inserts, and the
+// output is identical to Graph.InducedSubgraph on the same inputs.
+func (c *CSR) InducedSubgraph(vs []int) (*Graph, []int) {
+	idx := make(map[int]int, len(vs))
+	origOf := make([]int, len(vs))
+	for i, v := range vs {
+		if v < 0 || v >= c.N() {
+			panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, c.N()))
+		}
+		if _, dup := idx[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in induced subgraph", v))
+		}
+		idx[v] = i
+		origOf[i] = v
+	}
+	s := &Graph{adj: make([][]int, len(vs))}
+	total := 0
+	for i, v := range vs {
+		row := make([]int, 0, c.Degree(v))
+		for _, w := range c.Neighbors(v) {
+			if j, ok := idx[int(w)]; ok {
+				row = append(row, j)
+			}
+		}
+		sort.Ints(row)
+		s.adj[i] = row
+		total += len(row)
+	}
+	s.m = total / 2
+	return s, origOf
+}
+
+// ConnectedComponents returns the vertex sets of the connected
+// components, each sorted ascending, ordered by smallest member — the
+// same canonical form as Graph.ConnectedComponents.
+func (c *CSR) ConnectedComponents() [][]int {
+	seen := make([]bool, c.N())
+	var comps [][]int
+	queue := make([]int, 0, c.N())
+	for s := 0; s < c.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range c.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, int(w))
+					comp = append(comp, int(w))
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// LargestComponentSize returns the vertex count of the largest
+// connected component (0 for the empty graph). Unlike
+// ConnectedComponents it never materializes the component vertex sets.
+func (c *CSR) LargestComponentSize() int {
+	seen := make([]bool, c.N())
+	queue := make([]int32, 0, 1024)
+	max := 0
+	for s := 0; s < c.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], int32(s))
+		size := 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			size++
+			for _, w := range c.Neighbors(int(v)) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > max {
+			max = size
+		}
+	}
+	return max
+}
+
+// BFSDistances returns the vector of shortest-path distances from src;
+// unreachable vertices get -1.
+func (c *CSR) BFSDistances(src int) []int {
+	dist := make([]int, c.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range c.Neighbors(int(v)) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPathLength returns the length of a shortest path between u
+// and v, or -1 if v is unreachable from u.
+func (c *CSR) ShortestPathLength(u, v int) int {
+	if u == v {
+		return 0
+	}
+	dist := make([]int, c.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int32{int32(u)}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range c.Neighbors(int(x)) {
+			if dist[w] < 0 {
+				if int(w) == v {
+					return dist[x] + 1
+				}
+				dist[w] = dist[x] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+// TrianglesAt returns the number of triangles through v.
+func (c *CSR) TrianglesAt(v int) int {
+	nbrs := c.Neighbors(v)
+	count := 0
+	for i, u := range nbrs {
+		au := c.Neighbors(int(u))
+		for _, w := range nbrs[i+1:] {
+			j := sort.Search(len(au), func(j int) bool { return au[j] >= w })
+			if j < len(au) && au[j] == w {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// LocalClustering returns the clustering coefficient of v (§4.3).
+// Vertices of degree < 2 have coefficient 0.
+func (c *CSR) LocalClustering(v int) float64 {
+	d := c.Degree(v)
+	if d < 2 {
+		return 0
+	}
+	return 2 * float64(c.TrianglesAt(v)) / float64(d*(d-1))
+}
+
+// buildCSR assembles a CSR from flat endpoint arrays (one entry per
+// edge line, duplicates still present): counting sort into rows, per-row
+// sort, then in-place dedup compaction. Self-loops and ranges must have
+// been validated by the caller. It returns the distinct edge count.
+func buildCSR(n int, us, vs []int32) (*CSR, int) {
+	c := &CSR{
+		off: make([]int32, n+1),
+		adj: make([]int32, 2*len(us)),
+	}
+	deg := make([]int32, n)
+	for i := range us {
+		deg[us[i]]++
+		deg[vs[i]]++
+	}
+	cum := int32(0)
+	for v := 0; v < n; v++ {
+		c.off[v] = cum
+		cum += deg[v]
+	}
+	c.off[n] = cum
+	// Reuse deg as the per-row fill cursor.
+	copy(deg, c.off[:n])
+	for i := range us {
+		u, v := us[i], vs[i]
+		c.adj[deg[u]] = v
+		deg[u]++
+		c.adj[deg[v]] = u
+		deg[v]++
+	}
+	// Sort each row, then compact duplicates in place. The write cursor
+	// w never overtakes the read window, so rows move at most leftward.
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		s, e := c.off[v], c.off[v+1]
+		slices.Sort(c.adj[s:e])
+		start := w
+		for i := s; i < e; i++ {
+			if i > s && c.adj[i] == c.adj[i-1] {
+				continue
+			}
+			c.adj[w] = c.adj[i]
+			w++
+		}
+		c.off[v] = start
+		if d := int(w - start); d > c.maxDeg {
+			c.maxDeg = d
+		}
+	}
+	c.off[n] = w
+	c.adj = c.adj[:w]
+	return c, int(w) / 2
+}
+
+// IsConnected reports whether the graph is connected (vacuously true
+// for the empty graph).
+func (c *CSR) IsConnected() bool {
+	return c.N() == 0 || c.LargestComponentSize() == c.N()
+}

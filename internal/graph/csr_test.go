@@ -1,0 +1,353 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// testGraphs returns a spread of adjacency-slice graphs the CSR view
+// must mirror exactly: random dense/sparse, structured, and degenerate
+// shapes.
+func testGraphs() map[string]*Graph {
+	gs := map[string]*Graph{
+		"empty":    New(0),
+		"isolated": New(7),
+		"single":   FromEdges(2, [][2]int{{0, 1}}),
+	}
+	path := New(50)
+	for i := 0; i+1 < 50; i++ {
+		path.AddEdge(i, i+1)
+	}
+	gs["path"] = path
+	star := New(40)
+	for i := 1; i < 40; i++ {
+		star.AddEdge(0, i)
+	}
+	gs["star"] = star
+	complete := New(12)
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			complete.AddEdge(i, j)
+		}
+	}
+	gs["complete"] = complete
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(120)
+		for g.M() < 400 {
+			u, v := rng.Intn(120), rng.Intn(120)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		gs["random-"+string(rune('a'+seed-1))] = g
+	}
+	return gs
+}
+
+func TestCSRMirrorsGraph(t *testing.T) {
+	for name, g := range testGraphs() {
+		c := NewCSR(g)
+		if c.N() != g.N() || c.M() != g.M() {
+			t.Fatalf("%s: CSR size %d/%d, graph %d/%d", name, c.N(), c.M(), g.N(), g.M())
+		}
+		if c.MaxDegree() != g.MaxDegree() || c.MinDegree() != g.MinDegree() {
+			t.Fatalf("%s: degree extrema differ", name)
+		}
+		if c.MedianDegree() != g.MedianDegree() || c.AvgDegree() != g.AvgDegree() {
+			t.Fatalf("%s: degree stats differ", name)
+		}
+		for v := 0; v < g.N(); v++ {
+			if c.Degree(v) != g.Degree(v) {
+				t.Fatalf("%s: degree of %d differs", name, v)
+			}
+			nbrs := g.Neighbors(v)
+			row := c.Neighbors(v)
+			if len(nbrs) != len(row) {
+				t.Fatalf("%s: row length of %d differs", name, v)
+			}
+			for i := range row {
+				if int(row[i]) != nbrs[i] {
+					t.Fatalf("%s: neighbor order of %d differs at %d", name, v, i)
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 200 && g.N() > 1; i++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u == v {
+				continue
+			}
+			if c.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("%s: HasEdge(%d,%d) differs", name, u, v)
+			}
+			if c.ShortestPathLength(u, v) != g.ShortestPathLength(u, v) {
+				t.Fatalf("%s: ShortestPathLength(%d,%d) differs", name, u, v)
+			}
+		}
+		if !c.Graph().Equal(g) {
+			t.Fatalf("%s: Graph() round trip differs", name)
+		}
+	}
+}
+
+func TestCSRStructuralEquivalence(t *testing.T) {
+	for name, g := range testGraphs() {
+		c := NewCSR(g)
+		ge, ce := g.Edges(), c.Edges()
+		if len(ge) != len(ce) {
+			t.Fatalf("%s: edge count differs", name)
+		}
+		for i := range ge {
+			if ge[i] != ce[i] {
+				t.Fatalf("%s: edge %d differs: %v vs %v", name, i, ge[i], ce[i])
+			}
+		}
+		gc, cc := g.ConnectedComponents(), c.ConnectedComponents()
+		if len(gc) != len(cc) {
+			t.Fatalf("%s: component count differs", name)
+		}
+		for i := range gc {
+			if len(gc[i]) != len(cc[i]) {
+				t.Fatalf("%s: component %d size differs", name, i)
+			}
+			for j := range gc[i] {
+				if gc[i][j] != cc[i][j] {
+					t.Fatalf("%s: component %d differs at %d", name, i, j)
+				}
+			}
+		}
+		if c.LargestComponentSize() != g.LargestComponentSize() {
+			t.Fatalf("%s: largest component differs", name)
+		}
+		for v := 0; v < g.N(); v++ {
+			if c.TrianglesAt(v) != g.TrianglesAt(v) {
+				t.Fatalf("%s: TrianglesAt(%d) differs", name, v)
+			}
+			if c.LocalClustering(v) != g.LocalClustering(v) {
+				t.Fatalf("%s: LocalClustering(%d) differs", name, v)
+			}
+		}
+		gd, cd := g.DegreeSequence(), c.DegreeSequence()
+		for i := range gd {
+			if gd[i] != cd[i] {
+				t.Fatalf("%s: degree sequence differs at %d", name, i)
+			}
+		}
+		gv, cv := g.VerticesByDegreeDesc(), c.VerticesByDegreeDesc()
+		for i := range gv {
+			if gv[i] != cv[i] {
+				t.Fatalf("%s: hub order differs at %d", name, i)
+			}
+		}
+		if g.N() > 0 {
+			gb, cb := g.BFSDistances(0), c.BFSDistances(0)
+			for i := range gb {
+				if gb[i] != cb[i] {
+					t.Fatalf("%s: BFS distance of %d differs", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCSRInducedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for name, g := range testGraphs() {
+		c := NewCSR(g)
+		for trial := 0; trial < 5; trial++ {
+			var vs []int
+			for v := 0; v < g.N(); v++ {
+				if rng.Intn(3) != 0 {
+					vs = append(vs, v)
+				}
+			}
+			// Shuffled order: the mapping must match Graph's for any
+			// input order, not just ascending.
+			rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+			gs, gOrig := g.InducedSubgraph(vs)
+			cs, cOrig := c.InducedSubgraph(vs)
+			if !gs.Equal(cs) {
+				t.Fatalf("%s: induced subgraph differs on %v", name, vs)
+			}
+			for i := range gOrig {
+				if gOrig[i] != cOrig[i] {
+					t.Fatalf("%s: origOf differs at %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReadCSRParity checks ReadCSR accepts and rejects exactly the
+// inputs Read does, with structurally identical results.
+func TestReadCSRParity(t *testing.T) {
+	inputs := []string{
+		"3 2\n0 1\n1 2\n",
+		"1 0\n",
+		"# comment\n\n2 1\n0 1\n",
+		"5 4\n4 0\n0 3\n2 1\n1 4\n",   // unsorted input order
+		"4 3\n3 2\n2 1\n1 0\n# end\n", // reversed endpoints
+		"3 1\n0 9\n",                  // out-of-range endpoint
+		"3 2\n0 1 7\n1 2\n",           // 3-column line
+		"3 1\n1 1\n",                  // self-loop
+		"3 2\n0 1\n0 1\n",             // duplicate edge: distinct count mismatch
+		"3 2\n0 1\n1 0\n",             // duplicate edge, reversed
+		"3 5\n0 1\n",                  // declared edges missing
+		"-1 -1\n",
+		"999999999999999999999 1\n",
+		"x y\n",
+		"",
+		"# only comments\n",
+	}
+	for _, seed := range []int64{10, 11} {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(300)
+		for g.M() < 700 {
+			u, v := rng.Intn(300), rng.Intn(300)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, buf.String())
+	}
+	for _, in := range inputs {
+		g, gerr := Read(strings.NewReader(in))
+		c, cerr := ReadCSR(strings.NewReader(in))
+		if (gerr == nil) != (cerr == nil) {
+			t.Fatalf("input %q: Read err %v, ReadCSR err %v", in, gerr, cerr)
+		}
+		if gerr != nil {
+			if gerr.Error() != cerr.Error() {
+				t.Fatalf("input %q: error text differs: %q vs %q", in, gerr, cerr)
+			}
+			continue
+		}
+		if !c.Graph().Equal(g) {
+			t.Fatalf("input %q: ReadCSR graph differs from Read", in)
+		}
+	}
+}
+
+// TestReadRowsSafeToGrow pins the bulk loader's row capping: rows carved
+// from the shared backing array must not clobber their neighbors when a
+// later AddEdge grows one of them.
+func TestReadRowsSafeToGrow(t *testing.T) {
+	g, err := Read(strings.NewReader("4 3\n0 1\n1 2\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), g.Neighbors(2)...)
+	g.AddEdge(0, 3)
+	got := g.Neighbors(2)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("row 2 corrupted by AddEdge on row 0: got %v want %v", got, want)
+	}
+}
+
+func BenchmarkCSRBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(50_000)
+	for g.M() < 150_000 {
+		u, v := rng.Intn(50_000), rng.Intn(50_000)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCSR(g)
+		if c.M() != g.M() {
+			b.Fatal("size mismatch")
+		}
+	}
+}
+
+func BenchmarkReadCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(20_000)
+	for g.M() < 60_000 {
+		u, v := rng.Intn(20_000), rng.Intn(20_000)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSR(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFromEdgeEndpointsMatchesAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		m := rng.Intn(3 * n)
+		var us, vs []int32
+		want := New(n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			us = append(us, int32(u))
+			vs = append(vs, int32(v))
+			want.AddEdge(u, v)
+			if rng.Intn(3) == 0 { // duplicate, sometimes reversed
+				us = append(us, int32(v))
+				vs = append(vs, int32(u))
+			}
+		}
+		got := FromEdgeEndpoints(n, us, vs)
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("trial %d: got %d/%d vertices/edges, want %d/%d", trial, got.N(), got.M(), want.N(), want.M())
+		}
+		for v := 0; v < n; v++ {
+			g, w := got.Neighbors(v), want.Neighbors(v)
+			if len(g) != len(w) {
+				t.Fatalf("trial %d: vertex %d row %v vs %v", trial, v, g, w)
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("trial %d: vertex %d row %v vs %v", trial, v, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestFromEdgeEndpointsPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		us, vs []int32
+	}{
+		{"self-loop", []int32{1}, []int32{1}},
+		{"out-of-range", []int32{0}, []int32{3}},
+		{"length-mismatch", []int32{0, 1}, []int32{1}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			FromEdgeEndpoints(3, c.us, c.vs)
+		}()
+	}
+}

@@ -37,3 +37,32 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadCSR differentially fuzzes the streaming CSR loader against
+// the adjacency-slice parser: both must accept exactly the same inputs,
+// and accepted inputs must load to structurally identical graphs.
+func FuzzReadCSR(f *testing.F) {
+	f.Add("3 2\n0 1\n1 2\n")
+	f.Add("1 0\n")
+	f.Add("3 2\n0 1 7\n1 2\n") // 3-column line: must be rejected, not truncated
+	f.Add("3 1\n0 9\n")        // endpoint out of range
+	f.Add("3 1\n1 1\n")        // self-loop
+	f.Add("3 2\n0 1\n1 0\n")   // duplicate edge under reversal
+	f.Add("-1 -1\n")           // corrupt header: negative
+	f.Add("999999999999999999999 1\n")
+	f.Add("2 99\n0 1\n") // corrupt header: edge count mismatch
+	f.Add("x y\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, gerr := Read(strings.NewReader(in))
+		c, cerr := ReadCSR(strings.NewReader(in))
+		if (gerr == nil) != (cerr == nil) {
+			t.Fatalf("acceptance differs: Read err %v, ReadCSR err %v", gerr, cerr)
+		}
+		if gerr != nil {
+			return
+		}
+		if !c.Graph().Equal(g) {
+			t.Fatal("ReadCSR graph differs from Read")
+		}
+	})
+}

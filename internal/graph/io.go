@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -32,12 +33,16 @@ func (g *Graph) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a graph in edge-list format.
-func Read(r io.Reader) (*Graph, error) {
+// scanEdgeList parses the header and edge lines of the edge-list
+// format, validating field counts, endpoint ranges, and self-loops with
+// line numbers. Endpoints come back as flat parallel arrays, duplicates
+// preserved — the callers (Read, ReadCSR) bulk-build their adjacency
+// from the arrays instead of sorted-inserting per edge, which was
+// worst-case quadratic on hub-heavy inputs.
+func scanEdgeList(r io.Reader) (n, declared int, us, vs []int32, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	var g *Graph
-	wantEdges := 0
+	sawHeader := false
 	line := 0
 	for sc.Scan() {
 		line++
@@ -51,45 +56,134 @@ func Read(r io.Reader) (*Graph, error) {
 		// its third column dropped instead of being rejected.
 		fields := strings.Fields(text)
 		if len(fields) != 2 {
-			return nil, fmt.Errorf("graph: line %d: %q: want exactly 2 fields, got %d", line, text, len(fields))
+			return 0, 0, nil, nil, fmt.Errorf("graph: line %d: %q: want exactly 2 fields, got %d", line, text, len(fields))
 		}
 		a, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
+			return 0, 0, nil, nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
 		}
 		b, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
+			return 0, 0, nil, nil, fmt.Errorf("graph: line %d: %q: %w", line, text, err)
 		}
-		if g == nil {
+		if !sawHeader {
 			if a < 0 || b < 0 {
-				return nil, fmt.Errorf("graph: line %d: negative header %d %d", line, a, b)
+				return 0, 0, nil, nil, fmt.Errorf("graph: line %d: negative header %d %d", line, a, b)
 			}
 			if a > MaxReadVertices {
-				return nil, fmt.Errorf("graph: header declares %d vertices, limit is %d", a, MaxReadVertices)
+				return 0, 0, nil, nil, fmt.Errorf("graph: header declares %d vertices, limit is %d", a, MaxReadVertices)
 			}
-			g = New(a)
-			wantEdges = b
+			sawHeader = true
+			n, declared = a, b
+			// Preallocate from the declared count, capped so a hostile
+			// header cannot force a huge allocation before any edge line
+			// has been seen.
+			capHint := declared
+			if capHint > 1<<20 {
+				capHint = 1 << 20
+			}
+			us = make([]int32, 0, capHint)
+			vs = make([]int32, 0, capHint)
 			continue
 		}
-		if a < 0 || a >= g.N() || b < 0 || b >= g.N() {
-			return nil, fmt.Errorf("graph: line %d: endpoint out of range [0,%d): %d %d", line, g.N(), a, b)
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return 0, 0, nil, nil, fmt.Errorf("graph: line %d: endpoint out of range [0,%d): %d %d", line, n, a, b)
 		}
 		if a == b {
-			return nil, fmt.Errorf("graph: line %d: self-loop at %d", line, a)
+			return 0, 0, nil, nil, fmt.Errorf("graph: line %d: self-loop at %d", line, a)
 		}
-		g.AddEdge(a, b)
+		us = append(us, int32(a))
+		vs = append(vs, int32(b))
 	}
 	if err := sc.Err(); err != nil {
+		return 0, 0, nil, nil, err
+	}
+	if !sawHeader {
+		return 0, 0, nil, nil, fmt.Errorf("graph: empty input")
+	}
+	return n, declared, us, vs, nil
+}
+
+// Read parses a graph in edge-list format.
+func Read(r io.Reader) (*Graph, error) {
+	n, want, us, vs, err := scanEdgeList(r)
+	if err != nil {
 		return nil, err
 	}
-	if g == nil {
-		return nil, fmt.Errorf("graph: empty input")
-	}
-	if g.M() != wantEdges {
-		return nil, fmt.Errorf("graph: header declares %d edges, read %d distinct", wantEdges, g.M())
+	g := fromScannedEdges(n, us, vs)
+	if g.M() != want {
+		return nil, fmt.Errorf("graph: header declares %d edges, read %d distinct", want, g.M())
 	}
 	return g, nil
+}
+
+// fromScannedEdges bulk-builds a Graph from validated endpoint arrays:
+// exact-size rows carved from one backing array, filled, sorted, and
+// deduplicated in place. Rows are capped at their final length so a
+// later AddEdge reallocates instead of clobbering the neighbor row.
+func fromScannedEdges(n int, us, vs []int32) *Graph {
+	deg := make([]int32, n)
+	for i := range us {
+		deg[us[i]]++
+		deg[vs[i]]++
+	}
+	backing := make([]int, 2*len(us))
+	g := &Graph{adj: make([][]int, n)}
+	pos := 0
+	for v := 0; v < n; v++ {
+		g.adj[v] = backing[pos : pos : pos+int(deg[v])]
+		pos += int(deg[v])
+	}
+	for i := range us {
+		u, v := us[i], vs[i]
+		g.adj[u] = append(g.adj[u], int(v))
+		g.adj[v] = append(g.adj[v], int(u))
+	}
+	for v := 0; v < n; v++ {
+		row := g.adj[v]
+		sort.Ints(row)
+		w := 0
+		for i := range row {
+			if i > 0 && row[i] == row[i-1] {
+				continue
+			}
+			row[w] = row[i]
+			w++
+		}
+		g.adj[v] = row[:w:w]
+		g.m += w
+	}
+	g.m /= 2
+	return g
+}
+
+// ReadCSR parses a graph in edge-list format directly into a frozen CSR
+// view, never materializing per-vertex adjacency slices: edges stream
+// into flat endpoint arrays, then one counting pass places every row.
+// It accepts and rejects exactly the inputs Read does.
+func ReadCSR(r io.Reader) (*CSR, error) {
+	n, want, us, vs, err := scanEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	if 2*len(us) > maxCSRAdj {
+		return nil, fmt.Errorf("graph: %d edges exceed the CSR int32 offset range", len(us))
+	}
+	c, distinct := buildCSR(n, us, vs)
+	if distinct != want {
+		return nil, fmt.Errorf("graph: header declares %d edges, read %d distinct", want, distinct)
+	}
+	return c, nil
+}
+
+// ReadCSRFile reads a CSR graph view from an edge-list file.
+func ReadCSRFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSR(f)
 }
 
 // WriteFile writes g to path in edge-list format. The write is atomic
@@ -107,4 +201,27 @@ func ReadFile(path string) (*Graph, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// FromEdgeEndpoints builds a graph over n vertices from parallel
+// endpoint slices in one bulk pass — count degrees, carve exact-size
+// rows, fill, sort, dedup — instead of per-edge sorted inserts.
+// Self-loops and out-of-range endpoints panic; duplicate edges (in
+// either orientation) collapse. Generators use it to realize large edge
+// batches at O(M log maxDeg) instead of the O(M·maxDeg) worst case of
+// repeated AddEdge.
+func FromEdgeEndpoints(n int, us, vs []int32) *Graph {
+	if len(us) != len(vs) {
+		panic(fmt.Sprintf("graph: FromEdges endpoint slices differ: %d vs %d", len(us), len(vs)))
+	}
+	for i := range us {
+		u, v := us[i], vs[i]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+		}
+		if u == v {
+			panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+		}
+	}
+	return fromScannedEdges(n, us, vs)
 }

@@ -108,22 +108,25 @@ func (s *cellScratch) grow(n int) {
 
 // classifyCell groups the connected components of g[cell] into
 // ℒ(cell)-equivalence classes: components isomorphic via a mapping that
-// preserves each vertex's neighborhood outside the cell. It returns the
-// components (as vertex sets of g, in ConnectedComponents order) and
-// each component's class index, assigned in first-seen order — so
-// component i is an orbit copy exactly when an earlier component shares
-// its class. tick, when non-nil, polls for cancellation amortized by
+// preserves each vertex's neighborhood outside the cell. The graph is
+// consumed through its frozen CSR view — the external-signature sweep
+// and the induced-subgraph extraction are pure neighbor scans, the
+// per-pass hot path of backbone detection. It returns the components
+// (as vertex sets of g, in ConnectedComponents order) and each
+// component's class index, assigned in first-seen order — so component
+// i is an orbit copy exactly when an earlier component shares its
+// class. tick, when non-nil, polls for cancellation amortized by
 // component size.
-func classifyCell(g *graph.Graph, cell []int, sc *cellScratch, tick *canceller) ([][]int, []int, error) {
+func classifyCell(c *graph.CSR, cell []int, sc *cellScratch, tick *canceller) ([][]int, []int, error) {
 	obsCellsClassified.Inc()
-	sub, subOrig := g.InducedSubgraph(cell)
+	sub, subOrig := c.InducedSubgraph(cell)
 	subComps := sub.ConnectedComponents()
 	obsComponents.Add(int64(len(subComps)))
 	if len(subComps) <= 1 {
 		orig := append([]int(nil), cell...)
 		return [][]int{orig}, []int{0}, nil
 	}
-	sc.grow(g.N())
+	sc.grow(c.N())
 	// External signature of each cell vertex: its neighbors outside the
 	// cell. ℒ(V)-matched vertices must have identical ones.
 	for _, v := range cell {
@@ -131,9 +134,9 @@ func classifyCell(g *graph.Graph, cell []int, sc *cellScratch, tick *canceller) 
 	}
 	for _, v := range cell {
 		var ext []int
-		for _, u := range g.Neighbors(v) {
+		for _, u := range c.Neighbors(v) {
 			if !sc.inCell[u] {
-				ext = append(ext, u)
+				ext = append(ext, int(u))
 			}
 		}
 		sc.extSig[v] = intkey.Of(ext)
@@ -201,11 +204,11 @@ func classifyCell(g *graph.Graph, cell []int, sc *cellScratch, tick *canceller) 
 	return comps, class, nil
 }
 
-// maxClassMultiplicity groups the components of g[cell] into ℒ(cell)
+// maxClassMultiplicity groups the components of c[cell] into ℒ(cell)
 // equivalence classes and returns the size of the largest class (1 for
 // a single-component cell). sc is the caller's reusable scratch.
-func maxClassMultiplicity(g *graph.Graph, cell []int, sc *cellScratch) int {
-	comps, class, _ := classifyCell(g, cell, sc, nil)
+func maxClassMultiplicity(c *graph.CSR, cell []int, sc *cellScratch) int {
+	comps, class, _ := classifyCell(c, cell, sc, nil)
 	counts := make([]int, len(comps))
 	max := 1
 	for _, cls := range class {
@@ -243,6 +246,11 @@ func backbonePass(ctx context.Context, g *graph.Graph, cellOf []int, workers int
 			work = append(work, cell)
 		}
 	}
+	// One frozen CSR view per pass, shared read-only by every worker:
+	// the classification sweeps (external signatures, induced
+	// subgraphs) run on the flat layout, while g itself stays the
+	// mutable representation the pass boundary rebuilds.
+	csr := graph.NewCSR(g)
 	removed := make([]bool, g.N())
 	counts := make([]int, len(work))
 	workers = parallel.Resolve(backboneWorkers(workers), len(work))
@@ -254,7 +262,7 @@ func backbonePass(ctx context.Context, g *graph.Graph, cellOf []int, workers int
 			scratch[wid] = sc
 		}
 		tick := canceller{ctx: ctx}
-		comps, class, err := classifyCell(g, work[wi], sc, &tick)
+		comps, class, err := classifyCell(csr, work[wi], sc, &tick)
 		if err != nil {
 			return err
 		}
@@ -326,6 +334,9 @@ func MinimalAnonymizeFCtx(ctx context.Context, g *graph.Graph, orb *partition.Pa
 	res := &Result{OriginalN: g.N(), OriginalM: g.M()}
 	tick := canceller{ctx: ctx}
 	sc := &cellScratch{}
+	// Frozen once for the per-cell multiplicity checks below; g is not
+	// mutated here (copies go into the clone h).
+	gcsr := graph.NewCSR(g)
 	for i := 0; i < bb.Partition.NumCells(); i++ {
 		bcell := bb.Partition.Cell(i)
 		// The matching cell of G: orb's cell containing the backbone
@@ -341,7 +352,7 @@ func MinimalAnonymizeFCtx(ctx context.Context, g *graph.Graph, orb *partition.Pa
 		// (usually just ⌈|gcell|/|bcell|⌉; they differ only when a cell
 		// mixes classes with unequal counts).
 		copies := (want + len(bcell) - 1) / len(bcell) // ceil(want/|bcell|)
-		if mc := maxClassMultiplicity(g, gcell, sc); mc > copies {
+		if mc := maxClassMultiplicity(gcsr, gcell, sc); mc > copies {
 			copies = mc
 		}
 		for c := 1; c < copies; c++ {

@@ -106,7 +106,10 @@ func (r *Result) ladder(ctx context.Context, cfg Config) (*partition.Partition, 
 			"partition: deadline expired; computing 𝒯𝒟𝒱(G) past it as the answer of last resort")
 		tctx = context.WithoutCancel(ctx)
 	}
-	p, err := refine.TotalDegreePartitionCtx(tctx, g)
+	// The rung runs on a frozen CSR view of g: refinement is read-only,
+	// and at the million-node tiers the flat rows are what keep this
+	// fallback near-linear in practice.
+	p, err := refine.TotalDegreePartitionCSRCtx(tctx, graph.NewCSR(g))
 	if err != nil {
 		return nil, "", err
 	}

@@ -44,6 +44,22 @@ func EquitableCtx(ctx context.Context, g *graph.Graph, initial *partition.Partit
 	return r.Partition(), nil
 }
 
+// EquitableCSRCtx is EquitableCtx running on a caller-provided frozen
+// CSR view, for callers that already froze one (the pipeline's 𝒯𝒟𝒱
+// rung, the scale benches): it skips the per-call CSR build that
+// EquitableCtx's NewRefiner performs.
+func EquitableCSRCtx(ctx context.Context, c *graph.CSR, initial *partition.Partition) (*partition.Partition, error) {
+	if initial.N() != c.N() {
+		panic("refine: partition size does not match graph")
+	}
+	r := NewRefinerCSR(c)
+	r.Reset(initial)
+	if err := r.RunCtx(ctx); err != nil {
+		return nil, err
+	}
+	return r.Partition(), nil
+}
+
 // TotalDegreePartition returns 𝒯𝒟𝒱(G): the coarsest equitable partition
 // of G, obtained by stabilizing the unit partition. It is always coarser
 // than (or equal to) Orb(G).
@@ -58,6 +74,15 @@ func TotalDegreePartitionCtx(ctx context.Context, g *graph.Graph) (*partition.Pa
 		return partition.FromCellOf(nil), nil
 	}
 	return EquitableCtx(ctx, g, partition.Unit(g.N()))
+}
+
+// TotalDegreePartitionCSRCtx is TotalDegreePartitionCtx on a frozen CSR
+// view.
+func TotalDegreePartitionCSRCtx(ctx context.Context, c *graph.CSR) (*partition.Partition, error) {
+	if c.N() == 0 {
+		return partition.FromCellOf(nil), nil
+	}
+	return EquitableCSRCtx(ctx, c, partition.Unit(c.N()))
 }
 
 // DegreePartition groups vertices by degree — the starting point of the

@@ -30,8 +30,12 @@ import (
 //	r.Run()                       // re-refines only what v's split disturbs
 //	colors := r.CanonicalColors(nil)
 type Refiner struct {
-	g *graph.Graph
-	n int
+	// The graph is consumed through its frozen CSR view: the splitter
+	// scans and the quotient-profile pass of CanonicalColors are pure
+	// neighbor sweeps, and the flat off/adj arrays keep them on two
+	// contiguous allocations instead of chasing N slice headers.
+	off, adj []int32
+	n        int
 
 	// Partition state: vtx holds the vertices grouped by cell; cell c
 	// owns vtx[cellStart[c]:cellEnd[c]]; pos[v] is v's index in vtx.
@@ -78,11 +82,22 @@ type State struct {
 }
 
 // NewRefiner returns a Refiner for g with no partition loaded; call one
-// of the Reset methods before Run.
+// of the Reset methods before Run. It freezes its own CSR view of g:
+// callers that already hold one (or run several Refiners on the same
+// graph, like the IR search pool) should use NewRefinerCSR instead and
+// share it.
 func NewRefiner(g *graph.Graph) *Refiner {
-	n := g.N()
+	return NewRefinerCSR(graph.NewCSR(g))
+}
+
+// NewRefinerCSR returns a Refiner running on an existing frozen CSR
+// view. The view is only read, so any number of Refiners may share it.
+func NewRefinerCSR(c *graph.CSR) *Refiner {
+	n := c.N()
+	off, adj := c.Rows()
 	return &Refiner{
-		g:         g,
+		off:       off,
+		adj:       adj,
 		n:         n,
 		vtx:       make([]int, n),
 		pos:       make([]int, n),
@@ -95,7 +110,7 @@ func NewRefiner(g *graph.Graph) *Refiner {
 		tCellMark: make([]bool, n),
 		tf:        make([]int, n),
 		aux:       make([]int, n),
-		bucket:    make([]int, g.MaxDegree()+1),
+		bucket:    make([]int, c.MaxDegree()+1),
 	}
 }
 
@@ -300,8 +315,10 @@ func (r *Refiner) splitAgainst(sc int) {
 	// Snapshot the splitter: splitting a touched cell may split sc
 	// itself (when sc has internal edges).
 	r.spl = append(r.spl[:0], r.vtx[r.cellStart[sc]:r.cellEnd[sc]]...)
+	off, adj := r.off, r.adj
 	for _, v := range r.spl {
-		for _, w := range r.g.Neighbors(v) {
+		for _, w32 := range adj[off[v]:off[v+1]] {
+			w := int(w32)
 			if r.cnt[w] == 0 {
 				r.touched = append(r.touched, w)
 				c := r.cellOf[w]
@@ -501,7 +518,7 @@ func (r *Refiner) CanonicalColors(dst []int) []int {
 	for c := 0; c < nc; c++ {
 		rep := r.vtx[r.cellStart[c]]
 		var ds []int
-		for _, w := range r.g.Neighbors(rep) {
+		for _, w := range r.adj[r.off[rep]:r.off[rep+1]] {
 			d := r.cellOf[w]
 			if cellCnt[d] == 0 {
 				ds = append(ds, d)

@@ -57,14 +57,22 @@ func BatchCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partition, n, 
 	if err != nil {
 		return nil, err
 	}
+	if vp.N() != gp.N() {
+		return nil, fmt.Errorf("sampling: partition covers %d vertices, graph has %d", vp.N(), gp.N())
+	}
+	// The approximate sampler walks a frozen CSR view of G'; freeze it
+	// once here and share it read-only across the whole batch instead of
+	// paying one build per sample.
+	var csr *graph.CSR
+	if opts.Method != SamplerExact {
+		csr = graph.NewCSR(gp)
+	}
 	return parallel.Map(ctx, opts.Parallelism, count, func(ctx context.Context, _, i int) (*graph.Graph, error) {
-		o := &Options{
-			Probabilities: probs,
-			Rng:           rand.New(rand.NewSource(DeriveSeed(opts.Seed, i))),
-		}
+		rng := rand.New(rand.NewSource(DeriveSeed(opts.Seed, i)))
 		if opts.Method == SamplerExact {
+			o := &Options{Probabilities: probs, Rng: rng}
 			return ExactCtx(ctx, gp, vp, n, o)
 		}
-		return ApproximateCtx(ctx, gp, vp, n, o)
+		return approximateCSR(ctx, csr, vp, n, rng, probs)
 	})
 }

@@ -159,7 +159,14 @@ func (wp *weightedPicker) rebuild() {
 	wp.cum = wp.cum[:0]
 	total := 0.0
 	for i, w := range wp.probs {
-		if wp.eligible(i) {
+		// Zero-weight cells are excluded from the table entirely, not
+		// just assigned zero mass: a draw of exactly rng.Float64() == 0
+		// would land SearchFloat64s on a leading zero-mass entry and
+		// return a cell the proportional-to-weight contract says can
+		// never be drawn. Skipping them leaves every kept cell's
+		// cumulative value unchanged, so draw sequences are identical
+		// except in that pathological case.
+		if w > 0 && wp.eligible(i) {
 			total += w
 			wp.cells = append(wp.cells, i)
 			wp.cum = append(wp.cum, total)
@@ -314,10 +321,19 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 	if vp.N() != gp.N() {
 		return nil, fmt.Errorf("sampling: partition covers %d vertices, graph has %d", vp.N(), gp.N())
 	}
+	return approximateCSR(ctx, graph.NewCSR(gp), vp, n, opts.Rng, probs)
+}
+
+// approximateCSR is the Algorithm 4/5 kernel on a frozen CSR view of
+// G'. The DFS is a pure neighbor walk, so it runs on the flat layout;
+// Batch freezes the view once and shares it across every sample, since
+// the view is only read. The visit order is identical to the adjacency-
+// slice walk (CSR rows preserve neighbor order), so outputs are
+// byte-identical.
+func approximateCSR(ctx context.Context, gp *graph.CSR, vp *partition.Partition, n int, rng *rand.Rand, probs []float64) (*graph.Graph, error) {
 	if n < vp.NumCells() || n > gp.N() {
 		return nil, fmt.Errorf("sampling: target size %d outside [%d,%d]", n, vp.NumCells(), gp.N())
 	}
-	rng := opts.Rng
 	// Algorithm 4, lines 1-6: quotas.
 	s := make([]int, vp.NumCells())
 	for i := range s {
@@ -371,7 +387,7 @@ func ApproximateCtx(ctx context.Context, gp *graph.Graph, vp *partition.Partitio
 				stack = stack[:len(stack)-1]
 				continue
 			}
-			u := nbrs[f.i]
+			u := int(nbrs[f.i])
 			f.i++
 			if visited[u] {
 				continue

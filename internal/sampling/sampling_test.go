@@ -275,3 +275,40 @@ func TestExactDeterministicForSeed(t *testing.T) {
 		t.Fatal("same seed produced different samples")
 	}
 }
+
+// TestPickerSkipsZeroWeightCells pins the weightedPicker contract that
+// a zero-weight cell is never drawn. Before the fix, rng.Float64()
+// returning exactly 0 made SearchFloat64s land on a zero-mass leading
+// entry of the cumulative table and return an eligible zero-weight
+// cell. The table must therefore exclude zero-weight cells outright.
+func TestPickerSkipsZeroWeightCells(t *testing.T) {
+	probs := []float64{0, 0.5, 0, 0.5, 0}
+	wp := newWeightedPicker(probs, func(i int) bool { return true })
+	for _, c := range wp.cells {
+		if probs[c] == 0 {
+			t.Fatalf("zero-weight cell %d present in the cumulative table %v", c, wp.cells)
+		}
+	}
+	if len(wp.cells) != 2 || wp.cells[0] != 1 || wp.cells[1] != 3 {
+		t.Fatalf("table should hold exactly the positive-weight cells, got %v", wp.cells)
+	}
+	// x == 0 maps to the first positive-weight cell, not cell 0.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		got := wp.pick(rng)
+		if got != 1 && got != 3 {
+			t.Fatalf("draw %d returned cell %d with weight %v", i, got, probs[got])
+		}
+	}
+	// Rebuild after eligibility shrinks must also keep the invariant.
+	alive := []bool{true, false, true, true, true}
+	wp = newWeightedPicker(probs, func(i int) bool { return alive[i] })
+	if len(wp.cells) != 1 || wp.cells[0] != 3 {
+		t.Fatalf("eligible positive-weight cells should be [3], got %v", wp.cells)
+	}
+	// All weights zero: no drawable cell, pick must report exhaustion.
+	wp = newWeightedPicker([]float64{0, 0}, func(i int) bool { return true })
+	if got := wp.pick(rng); got != -1 {
+		t.Fatalf("all-zero weights should exhaust, got cell %d", got)
+	}
+}

@@ -255,3 +255,74 @@ func TestResilienceCtxMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// The CSR statistics must agree exactly with the adjacency-slice path:
+// same values, same draw sequences, same resilience series.
+func TestCSRStatsMatchSlicePath(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"ba":    datasets.BarabasiAlbert(300, 3, 2, 7),
+		"ws":    datasets.WattsStrogatz(200, 4, 0.1, 9),
+		"empty": graph.New(0),
+		"iso":   graph.New(5),
+	}
+	fracs := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	for name, g := range graphs {
+		c := graph.NewCSR(g)
+		if got, want := SummarizeCSR(name, c), Summarize(name, g); got != want {
+			t.Errorf("%s: SummarizeCSR = %+v, want %+v", name, got, want)
+		}
+		if got, want := DegreeSampleCSR(c).Values(), DegreeSample(g).Values(); !equalFloats(got, want) {
+			t.Errorf("%s: DegreeSampleCSR values mismatch", name)
+		}
+		gh, wh := DegreeHistogramCSR(c), DegreeHistogram(g)
+		if len(gh) != len(wh) {
+			t.Fatalf("%s: histogram length %d vs %d", name, len(gh), len(wh))
+		}
+		for d := range gh {
+			if gh[d] != wh[d] {
+				t.Errorf("%s: histogram[%d] = %d, want %d", name, d, gh[d], wh[d])
+			}
+		}
+		if got, want := ClusteringSampleCSR(c).Values(), ClusteringSample(g).Values(); !equalFloats(got, want) {
+			t.Errorf("%s: ClusteringSampleCSR values mismatch", name)
+		}
+		if got, want := GlobalClusteringCSR(c), GlobalClustering(g); got != want {
+			t.Errorf("%s: GlobalClusteringCSR = %v, want %v", name, got, want)
+		}
+		cp := PathLengthSampleCSR(c, 50, rand.New(rand.NewSource(3)))
+		sp := PathLengthSample(g, 50, rand.New(rand.NewSource(3)))
+		if !equalFloats(cp.Values(), sp.Values()) {
+			t.Errorf("%s: PathLengthSampleCSR draw sequence diverged", name)
+		}
+		cr, sr := ResilienceCSR(c, fracs), Resilience(g, fracs)
+		for i := range fracs {
+			if cr[i] != sr[i] {
+				t.Errorf("%s: ResilienceCSR[%d] = %v, want %v", name, i, cr[i], sr[i])
+			}
+		}
+		cr4, err := ResilienceCSRCtx(context.Background(), c, fracs, 4)
+		if err != nil {
+			t.Fatalf("%s: ResilienceCSRCtx: %v", name, err)
+		}
+		for i := range fracs {
+			if cr4[i] != cr[i] {
+				t.Errorf("%s: ResilienceCSRCtx workers=4 [%d] = %v, want %v", name, i, cr4[i], cr[i])
+			}
+		}
+		if got, want := c.IsConnected(), g.IsConnected(); got != want {
+			t.Errorf("%s: CSR.IsConnected = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
