@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"ksymmetry/internal/faulttest"
 	"ksymmetry/internal/obs"
 	"ksymmetry/internal/server"
 	"ksymmetry/internal/validate"
@@ -44,6 +45,9 @@ func main() {
 		maxBody      = flag.Int64("max-body", 64<<20, "request body cap in bytes")
 		retained     = flag.Int("retained-jobs", 1024, "finished jobs kept for status queries (oldest evicted first)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this extra address (the main listener already serves /metrics)")
+		dataDir      = flag.String("data-dir", "", "durable job store directory: journal every job transition, survive restarts (empty = in-memory only)")
+		retryMax     = flag.Int("retry-max", 3, "run attempts before a job whose runs keep dying with the process is quarantined as poisoned")
+		retryBackoff = flag.Duration("retry-backoff", time.Second, "base retry delay for crash-interrupted jobs (attempt n waits backoff*2^(n-1), capped at 64x)")
 	)
 	flag.Parse()
 
@@ -66,6 +70,17 @@ func main() {
 	if *maxTimeout <= 0 || *drainTimeout <= 0 {
 		fatal(fmt.Errorf("-max-timeout and -drain-timeout must be > 0"))
 	}
+	if err := validate.Positive("-retry-max", *retryMax); err != nil {
+		fatal(err)
+	}
+	if *retryBackoff <= 0 {
+		fatal(fmt.Errorf("-retry-backoff must be > 0"))
+	}
+	// Crash-point injection for the fault suite: inert unless
+	// KSYM_CRASH_POINT is set in the environment.
+	if err := faulttest.ArmCrashFromEnv(); err != nil {
+		fatal(err)
+	}
 
 	// A server without metrics is a black box: the registry is always
 	// on, and /metrics serves the live snapshot.
@@ -78,14 +93,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksymd: pprof on http://%s/debug/pprof/\n", got)
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		QueueCapacity:   *queueCap,
 		Workers:         *workers,
 		MaxTimeout:      *maxTimeout,
 		MaxBodyBytes:    *maxBody,
 		MaxRetainedJobs: *retained,
 		PipelineWorkers: *jobWorkers,
+		DataDir:         *dataDir,
+		RetryMax:        *retryMax,
+		RetryBackoff:    *retryBackoff,
 	})
+	if err != nil {
+		// A corrupt journal refuses to start rather than serving from
+		// state it cannot trust; the error names the bad record.
+		fatal(err)
+	}
+	if *dataDir != "" {
+		rec := srv.Recovery()
+		fmt.Fprintf(os.Stderr, "ksymd: journal replayed from %s: %d requeued, %d interrupted (retrying), %d quarantined, %d finished restored, %d torn bytes repaired\n",
+			*dataDir, rec.Requeued, rec.Interrupted, rec.Quarantined, rec.Finished, rec.TornBytes)
+	}
 	hs := &http.Server{Handler: srv.Handler()}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -11,10 +11,12 @@
 package atomicio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // WriteFile writes the output of write to path atomically. The write
@@ -63,6 +65,38 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	}
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("atomicio: %w", err)
+	}
+	// The rename itself lives in the directory, not the file: without a
+	// directory fsync a power loss can roll the rename back and the
+	// "old or new complete file" guarantee silently shrinks to "old
+	// file". Sync the parent to commit the name change.
+	if err = SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, committing renames and creates inside it
+// to stable storage. Filesystems and platforms that do not support
+// fsync on directories (some network and FUSE filesystems reject it
+// with EINVAL or ENOTSUP) are skipped rather than failed: on those
+// the stronger guarantee is simply unavailable, and surfacing an error
+// would make every atomic write fail on a filesystem that worked
+// yesterday.
+func SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.ENOTTY) || errors.Is(err, syscall.EBADF) {
+			return nil
+		}
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

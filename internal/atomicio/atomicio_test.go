@@ -153,3 +153,36 @@ func TestWriteFileConcurrent(t *testing.T) {
 	}
 	noTmpDebris(t, dir)
 }
+
+// TestSyncDir covers the dir-fsync satellite: a plain directory syncs
+// cleanly, a missing directory errors, and WriteFile (which now syncs
+// the parent after the rename) still lands complete content.
+func TestSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir(%s) = %v", dir, err)
+	}
+	if err := SyncDir(""); err != nil {
+		t.Fatalf(`SyncDir("") = %v, want nil (cwd)`, err)
+	}
+	if err := SyncDir(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+	// The rename-commit path: WriteFile into a fresh subdirectory.
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "f")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "x" {
+		t.Fatalf("content = %q", data)
+	}
+	noTmpDebris(t, sub)
+}

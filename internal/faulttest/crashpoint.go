@@ -1,0 +1,152 @@
+package faulttest
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Crash points: named places in production code where the fault suite
+// can kill the process (or run an arbitrary hook) to prove that the
+// journal's durability discipline survives a crash at exactly that
+// instant. Production code calls Hit(point) at each location; when no
+// hook is armed the call is one atomic load, so the points can stay
+// compiled into release binaries (the same discipline as the obs
+// no-op path).
+//
+// The points cover the journal's write protocol end to end
+// (DESIGN.md §11): before the record bytes reach the file, after the
+// bytes but before the fsync that commits them, after a compaction
+// snapshot is fsynced but before the rename that makes it the live
+// log, and in the middle of writing a compaction snapshot.
+
+// Point names one crash location compiled into production code.
+type Point string
+
+const (
+	// JournalBeforeAppend fires before a record's bytes are written:
+	// a crash here loses the record entirely — replay must see the
+	// previous consistent state.
+	JournalBeforeAppend Point = "journal.before_append"
+	// JournalAfterAppend fires after the record bytes are written but
+	// before the fsync that commits them: a crash here may leave a
+	// torn tail, which replay must detect and truncate.
+	JournalAfterAppend Point = "journal.after_append_before_fsync"
+	// JournalBeforeRename fires after a compaction snapshot is written
+	// and fsynced but before the rename that makes it the live log: a
+	// crash here must leave the old log authoritative and the snapshot
+	// as removable debris.
+	JournalBeforeRename Point = "journal.after_fsync_before_rename"
+	// JournalMidCompaction fires midway through writing a compaction
+	// snapshot: a crash here must leave the old log untouched.
+	JournalMidCompaction Point = "journal.mid_compaction"
+)
+
+// Points lists every crash point, for suites that iterate them.
+var Points = []Point{
+	JournalBeforeAppend,
+	JournalAfterAppend,
+	JournalBeforeRename,
+	JournalMidCompaction,
+}
+
+// armed is nonzero while any hook is registered; Hit's fast path is a
+// single load of it.
+var armed atomic.Int32
+
+var (
+	hookMu sync.Mutex
+	hooks  map[Point]func()
+)
+
+// Hit invokes the hook armed at p, if any. With nothing armed it costs
+// one atomic load.
+func Hit(p Point) {
+	if armed.Load() == 0 {
+		return
+	}
+	hookMu.Lock()
+	fn := hooks[p]
+	hookMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Arm registers fn to run whenever p is hit, replacing any previous
+// hook at p.
+func Arm(p Point, fn func()) {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	if hooks == nil {
+		hooks = make(map[Point]func())
+	}
+	if _, ok := hooks[p]; !ok {
+		armed.Add(1)
+	}
+	hooks[p] = fn
+}
+
+// Disarm removes the hook at p.
+func Disarm(p Point) {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	if _, ok := hooks[p]; ok {
+		delete(hooks, p)
+		armed.Add(-1)
+	}
+}
+
+// Env variables ArmCrashFromEnv reads. KSYM_CRASH_POINT names the
+// point; KSYM_CRASH_HITS (default 1) is which hit kills the process,
+// so a suite can let the Nth append through and kill the N+1th.
+const (
+	EnvCrashPoint = "KSYM_CRASH_POINT"
+	EnvCrashHits  = "KSYM_CRASH_HITS"
+)
+
+// ArmCrashFromEnv arms a hard kill — SIGKILL to self, the closest
+// in-process stand-in for a power loss: no deferred cleanup, no
+// signal handler, no atexit — at the crash point named by
+// KSYM_CRASH_POINT, on the KSYM_CRASH_HITS'th hit (default 1). With
+// the variable unset it does nothing, so production binaries can call
+// it unconditionally at startup.
+func ArmCrashFromEnv() error {
+	name := os.Getenv(EnvCrashPoint)
+	if name == "" {
+		return nil
+	}
+	p := Point(name)
+	valid := false
+	for _, q := range Points {
+		if p == q {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("faulttest: %s=%q is not a known crash point", EnvCrashPoint, name)
+	}
+	n := int64(1)
+	if h := os.Getenv(EnvCrashHits); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("faulttest: %s=%q is not a positive integer", EnvCrashHits, h)
+		}
+		n = v
+	}
+	var hits atomic.Int64
+	Arm(p, func() {
+		if hits.Add(1) == n {
+			// Write through stderr so the orchestrating test can see
+			// the kill actually came from the armed point.
+			fmt.Fprintf(os.Stderr, "faulttest: crash point %s hit %d: SIGKILL\n", p, n)
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // unreachable: SIGKILL cannot be caught
+		}
+	})
+	return nil
+}

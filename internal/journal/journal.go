@@ -1,0 +1,349 @@
+// Package journal provides an append-only, checksummed record log —
+// the durability layer under ksymd's job store (DESIGN.md §11).
+//
+// Each record is length-prefixed and CRC32-checksummed:
+//
+//	offset  size  field
+//	0       4     payload length (little-endian uint32)
+//	4       4     CRC32-Castagnoli of the payload (little-endian)
+//	8       len   payload (opaque to the journal)
+//
+// Append writes a record and fsyncs before returning, so a record the
+// caller saw committed survives any subsequent crash. Open replays the
+// log front to back and tolerates a torn tail: a final record cut
+// short by a mid-write crash (file ends inside the header or inside
+// the payload the header promised) is detected and truncated away, so
+// it can never poison replay or be half-overwritten by the next
+// append. Corruption that is *not* a torn tail — a full-length record
+// whose checksum fails, or an absurd length prefix with data beyond
+// it — fails Open loudly instead of being silently dropped: an
+// append-only log never legitimately contains garbage in its interior,
+// so interior garbage means the storage lied and the operator must
+// decide, not the replay code.
+//
+// Rewrite implements snapshot + compaction: it atomically replaces the
+// whole log with a caller-provided record set (the live jobs, in the
+// store's case) using the internal/atomicio discipline — tmp file in
+// the same directory, fsync, rename, directory fsync — so a crash at
+// any instant leaves either the old complete log or the new complete
+// log. The faulttest crash points (before-append, after-append-
+// before-fsync, after-fsync-before-rename, mid-compaction) are wired
+// through every mutation so the kill-at-every-crash-point suite can
+// prove those claims against a real SIGKILL.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ksymmetry/internal/atomicio"
+	"ksymmetry/internal/faulttest"
+)
+
+// headerSize is the fixed per-record prefix: 4 bytes length + 4 bytes
+// CRC.
+const headerSize = 8
+
+// MaxRecord bounds a single record's payload (64 MiB, matching the
+// daemon's request-body cap). A length prefix beyond it is treated as
+// corruption, not as a torn tail, so a bit flip in a length field
+// cannot make replay silently swallow the rest of the log.
+const MaxRecord = 64 << 20
+
+// castagnoli is the CRC32-C table; Castagnoli has hardware support on
+// amd64/arm64, so the checksum never shows up in append profiles.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports interior corruption: bytes that cannot be a torn
+// tail. Open fails loudly with it rather than guessing.
+var ErrCorrupt = errors.New("journal: corrupt record in log interior")
+
+// Log is an open journal. All methods are safe for a single writer;
+// callers needing concurrent appends serialize them (the job store
+// appends under its own mutex).
+type Log struct {
+	path string
+	dir  string
+	f    *os.File
+	size int64 // committed log size (end of the last good record)
+	recs int   // records in the log (replayed + appended)
+	buf  []byte
+}
+
+// RecoveryInfo reports what Open found and repaired.
+type RecoveryInfo struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// TornBytes is the length of the torn tail truncated away (0 for a
+	// clean log).
+	TornBytes int64
+}
+
+// Open opens (creating if absent) the journal at path, replays every
+// intact record through fn in append order, truncates a torn tail,
+// and removes orphaned compaction tmp files in the same directory.
+// A replay callback error aborts Open. The returned log is positioned
+// for Append.
+func Open(path string, fn func(rec []byte) error) (*Log, RecoveryInfo, error) {
+	var info RecoveryInfo
+	dir := filepath.Dir(path)
+	// A compaction that crashed before its rename leaves a "*.tmp"
+	// snapshot beside the log; the old log is still authoritative, so
+	// the snapshot is debris.
+	if matches, err := filepath.Glob(filepath.Join(dir, filepath.Base(path)+".*.tmp")); err == nil {
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, info, fmt.Errorf("journal: %w", err)
+	}
+	// Make the journal's own name durable: a first append that beats
+	// the directory entry to disk would otherwise vanish with the file.
+	if err := atomicio.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	l := &Log{path: path, dir: dir, f: f}
+	good, n, err := replay(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, info, fmt.Errorf("journal: %w", err)
+	}
+	if torn := fi.Size() - good; torn > 0 {
+		// Mid-write crash debris: cut the tail so the next append
+		// starts on a record boundary, and commit the repair before
+		// acknowledging any new record on top of it.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("journal: sync after tail repair: %w", err)
+		}
+		info.TornBytes = torn
+		obsTornTruncations.Inc()
+		obsTornBytes.Add(torn)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, info, fmt.Errorf("journal: %w", err)
+	}
+	l.size = good
+	l.recs = n
+	info.Records = n
+	obsOpens.Inc()
+	obsRecords.Set(int64(n))
+	obsSizeBytes.Set(good)
+	return l, info, nil
+}
+
+// replay scans r front to back, invoking fn per intact record, and
+// returns the offset just past the last good record plus the record
+// count. A short tail returns cleanly (the caller truncates); interior
+// corruption returns ErrCorrupt.
+func replay(r io.Reader, fn func(rec []byte) error) (good int64, n int, err error) {
+	br := &countReader{r: r}
+	var hdr [headerSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// Tail shorter than a header: torn header.
+				return good, n, nil
+			}
+			return good, n, fmt.Errorf("journal: read: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecord {
+			// No writer ever produced this length; a torn tail cannot
+			// corrupt bytes it never reached, so this header is rot.
+			return good, n, fmt.Errorf("%w: record %d at offset %d declares %d bytes (max %d)",
+				ErrCorrupt, n, good, length, MaxRecord)
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		_, err := io.ReadFull(br, payload)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// File ends inside the payload the header promised: the
+			// classic torn tail. The header itself may be intact and
+			// checksum-bearing, but the record never committed.
+			return good, n, nil
+		}
+		if err != nil {
+			return good, n, fmt.Errorf("journal: read: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			// The full record is present but the checksum fails. A torn
+			// write cannot do this (a short write shortens the file);
+			// this is interior rot — fail loudly.
+			return good, n, fmt.Errorf("%w: record %d at offset %d fails CRC32-C",
+				ErrCorrupt, n, good)
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return good, n, err
+			}
+		}
+		good = br.n
+		n++
+	}
+}
+
+// countReader tracks how many bytes have been consumed, so replay
+// knows the offset of each record boundary.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// encode frames a payload into buf (reused across appends).
+func encode(buf []byte, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf[:0], hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Append commits one record: frame, write, fsync. When Append returns
+// nil the record is on stable storage; when it returns an error the
+// log is still consistent (a partial write becomes a torn tail the
+// next Open repairs).
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecord (%d)", len(payload), MaxRecord)
+	}
+	faulttest.Hit(faulttest.JournalBeforeAppend)
+	l.buf = encode(l.buf, payload)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	faulttest.Hit(faulttest.JournalAfterAppend)
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	l.size += int64(len(l.buf))
+	l.recs++
+	obsAppends.Inc()
+	obsAppendBytes.Add(int64(len(l.buf)))
+	obsFsyncs.Inc()
+	obsRecords.Set(int64(l.recs))
+	obsSizeBytes.Set(l.size)
+	return nil
+}
+
+// Records returns the number of records in the log (replayed plus
+// appended since Open).
+func (l *Log) Records() int { return l.recs }
+
+// Size returns the committed log size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Rewrite atomically replaces the log's entire contents with recs —
+// the snapshot half of snapshot+compaction. The new log is written to
+// a tmp file in the same directory, fsynced, renamed over the old log,
+// and the directory fsynced (the atomicio discipline), so a crash at
+// any point leaves either the old or the new complete log. On success
+// the Log serves appends from the new file.
+func (l *Log) Rewrite(recs [][]byte) (err error) {
+	tmpf, err := os.CreateTemp(l.dir, filepath.Base(l.path)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	tmp := tmpf.Name()
+	defer func() {
+		if err != nil {
+			tmpf.Close()
+			os.Remove(tmp)
+		}
+	}()
+	var size int64
+	var buf []byte
+	for i, rec := range recs {
+		if len(rec) > MaxRecord {
+			return fmt.Errorf("journal: record of %d bytes exceeds MaxRecord (%d)", len(rec), MaxRecord)
+		}
+		if i == len(recs)/2 {
+			faulttest.Hit(faulttest.JournalMidCompaction)
+		}
+		buf = encode(buf, rec)
+		n, werr := tmpf.Write(buf)
+		size += int64(n)
+		if werr != nil {
+			return fmt.Errorf("journal: compact: %w", werr)
+		}
+	}
+	// The snapshot must be durable before the rename makes it the live
+	// log; rename-before-fsync could leave a complete-looking empty
+	// journal after a power loss.
+	if err = tmpf.Sync(); err != nil {
+		return fmt.Errorf("journal: compact sync: %w", err)
+	}
+	if err = tmpf.Close(); err != nil {
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	faulttest.Hit(faulttest.JournalBeforeRename)
+	if err = os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	// Commit the rename itself (see atomicio.SyncDir).
+	if err = atomicio.SyncDir(l.dir); err != nil {
+		return err
+	}
+	// Serve future appends from the renamed file. The old descriptor
+	// points at the unlinked inode; close it only after the reopen
+	// succeeds so a failure leaves the log usable.
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopen after compaction: %w", err)
+	}
+	old := l.f
+	l.f = f
+	old.Close()
+	l.size = size
+	l.recs = len(recs)
+	obsCompactions.Inc()
+	obsRecords.Set(int64(l.recs))
+	obsSizeBytes.Set(size)
+	return nil
+}
+
+// Close releases the file handle. Appended records are already
+// durable; Close exists for symmetry and tests.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// IsTmp reports whether name looks like journal/atomicio write debris,
+// for sweepers that clean a data directory.
+func IsTmp(name string) bool {
+	return strings.HasSuffix(name, ".tmp")
+}

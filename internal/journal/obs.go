@@ -1,0 +1,26 @@
+package journal
+
+import "ksymmetry/internal/obs"
+
+// The "journal" scope measures the durability layer (DESIGN.md §8,
+// §11). Like every obs hook these are no-ops until obs.Enable.
+var (
+	journalScope = obs.Default.Scope("journal")
+	// obsOpens counts journal opens (daemon restarts, in practice).
+	obsOpens = journalScope.Counter("opens")
+	// obsAppends / obsAppendBytes count committed records and their
+	// framed bytes.
+	obsAppends     = journalScope.Counter("appends")
+	obsAppendBytes = journalScope.Counter("append_bytes")
+	// obsFsyncs counts commit fsyncs — the durability cost per append.
+	obsFsyncs = journalScope.Counter("fsyncs")
+	// obsCompactions counts snapshot rewrites.
+	obsCompactions = journalScope.Counter("compactions")
+	// obsTornTruncations / obsTornBytes count torn tails repaired at
+	// open and the bytes cut away.
+	obsTornTruncations = journalScope.Counter("torn_tail_truncations")
+	obsTornBytes       = journalScope.Counter("torn_tail_bytes")
+	// obsRecords / obsSizeBytes track the live log.
+	obsRecords   = journalScope.Gauge("records")
+	obsSizeBytes = journalScope.Gauge("size_bytes")
+)

@@ -204,7 +204,7 @@ func TestIdempotentResubmission(t *testing.T) {
 
 func TestGracefulDrainFinishesInFlight(t *testing.T) {
 	base := faulttest.Goroutines()
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	ts := httptest.NewServer(s.Handler())
 	release := make(chan struct{})
 	started := make(chan struct{}, 2)
@@ -257,7 +257,7 @@ func TestGracefulDrainFinishesInFlight(t *testing.T) {
 
 func TestDrainCancelsStragglers(t *testing.T) {
 	base := faulttest.Goroutines()
-	s := New(Config{Workers: 1, QueueCapacity: 4})
+	s := mustNew(t, Config{Workers: 1, QueueCapacity: 4})
 	ts := httptest.NewServer(s.Handler())
 	started := make(chan struct{}, 1)
 	// The straggler never finishes on its own: it only honors its
@@ -296,7 +296,7 @@ func TestDrainCancelsStragglers(t *testing.T) {
 }
 
 func TestShutdownIdempotent(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	for i := 0; i < 3; i++ {
 		if err := s.Shutdown(context.Background()); err != nil {
 			t.Fatalf("shutdown %d: %v", i, err)

@@ -97,10 +97,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, job.status())
 }
 
+// missingJob answers a job id that is not in the retained set:
+// a tombstone distinguishes "finished and then evicted from the
+// bounded history" (410, with the recorded terminal state) from
+// "never existed" (404) — an id the server once acknowledged never
+// silently degrades into a 404 it cannot explain.
+func (s *Server) missingJob(w http.ResponseWriter, id string) {
+	if state, ok := s.tomb(id); ok {
+		writeJSON(w, http.StatusGone, apiError{Error: fmt.Sprintf(
+			"job %s was evicted from the retained history; its recorded terminal state was %q (resubmit to re-run)", id, state)})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job (it may have been evicted from the bounded history)"})
+		s.missingJob(w, r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.status())
@@ -109,11 +123,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job (it may have been evicted from the bounded history)"})
+		s.missingJob(w, r.PathValue("id"))
 		return
 	}
 	job.mu.Lock()
-	state, rel, sum := job.state, job.release, job.summary
+	state, sum := job.state, job.summary
 	job.mu.Unlock()
 	switch state {
 	case JobQueued, JobRunning:
@@ -121,6 +135,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// one URL.
 		writeJSON(w, http.StatusConflict, job.status())
 	case JobDone:
+		// Jobs restored from the journal reload their artifact from
+		// the results directory on first request.
+		rel, err := s.releaseFor(job)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := rel.Write(w); err != nil {
 			// Headers are gone; the most we can do is abort the
@@ -128,7 +149,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			// a clean EOF on a partial artifact.
 			panic(http.ErrAbortHandler)
 		}
-	default: // failed, canceled
+	default: // failed, canceled, quarantined
 		msg := string(state)
 		if sum != nil && sum.Error != "" {
 			msg = sum.Error

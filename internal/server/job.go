@@ -28,7 +28,21 @@ const (
 	// JobCanceled: the server drained before the job could run to
 	// completion.
 	JobCanceled JobState = "canceled"
+	// JobQuarantined: the job's run attempts kept dying with the
+	// process (crash, kill, redeploy mid-run) until the retry budget
+	// was spent; it is terminal-failed and will not run again. The
+	// summary records the attempt history.
+	JobQuarantined JobState = "quarantined"
 )
+
+// Terminal reports whether st is a terminal lifecycle state.
+func (st JobState) Terminal() bool {
+	switch st {
+	case JobDone, JobFailed, JobCanceled, JobQuarantined:
+		return true
+	}
+	return false
+}
 
 // jobRequest is a fully validated anonymization request: the graph is
 // parsed and the timeout clamped at admission time, so by the time a
@@ -52,8 +66,13 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
-	summary   *pipeline.Summary
-	release   *publish.Release
+	// attempt counts run attempts, including those of previous
+	// processes recovered from the journal.
+	attempt int
+	// reason documents a quarantine (mirrored into the summary).
+	reason  string
+	summary *pipeline.Summary
+	release *publish.Release
 	// done closes when the job reaches a terminal state, so tests and
 	// drain logic can wait without polling.
 	done chan struct{}
@@ -70,11 +89,16 @@ func (j *Job) State() JobState {
 // state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) setRunning() {
+// setRunning moves the job to running and returns the 1-based attempt
+// number this run is consuming.
+func (j *Job) setRunning() int {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.started = time.Now()
+	j.attempt++
+	n := j.attempt
 	j.mu.Unlock()
+	return n
 }
 
 // finish moves the job to a terminal state exactly once; late calls
@@ -83,7 +107,7 @@ func (j *Job) setRunning() {
 func (j *Job) finish(state JobState, sum *pipeline.Summary, rel *publish.Release) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+	if j.state.Terminal() {
 		return
 	}
 	j.state = state
@@ -112,9 +136,14 @@ type jobStatus struct {
 	SubmittedAt time.Time         `json:"submitted_at"`
 	StartedAt   *time.Time        `json:"started_at,omitempty"`
 	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
-	StatusURL   string            `json:"status_url"`
-	ResultURL   string            `json:"result_url,omitempty"`
-	Summary     *pipeline.Summary `json:"summary,omitempty"`
+	// Attempt is the run attempt count; >1 means earlier attempts died
+	// with the process and the journal retried the job.
+	Attempt   int    `json:"attempt,omitempty"`
+	StatusURL string `json:"status_url"`
+	ResultURL string `json:"result_url,omitempty"`
+	// Reason documents a quarantine.
+	Reason  string            `json:"reason,omitempty"`
+	Summary *pipeline.Summary `json:"summary,omitempty"`
 }
 
 func (j *Job) status() jobStatus {
@@ -124,7 +153,9 @@ func (j *Job) status() jobStatus {
 		ID:          j.id,
 		State:       j.state,
 		SubmittedAt: j.submitted,
+		Attempt:     j.attempt,
 		StatusURL:   "/v1/jobs/" + j.id,
+		Reason:      j.reason,
 		Summary:     j.summary,
 	}
 	if !j.started.IsZero() {

@@ -31,4 +31,29 @@ var (
 	// obsJobWall accumulates finished jobs' wall times — the clock
 	// behind the 429 Retry-After estimate.
 	obsJobWall = serverScope.Timer("job_wall")
+
+	// Recovery counters (DESIGN.md §11): what the journal replay at
+	// startup found and scheduled.
+	//
+	// obsRecoveredQueued counts jobs re-enqueued because the crash
+	// beat their first run; obsRecoveredInterrupted counts jobs whose
+	// run the crash interrupted, scheduled for retry with backoff;
+	// obsRecoveredFinished counts terminal jobs restored with their
+	// idempotency keys.
+	obsRecoveredQueued      = serverScope.Counter("recovered_queued")
+	obsRecoveredInterrupted = serverScope.Counter("recovered_interrupted")
+	obsRecoveredFinished    = serverScope.Counter("recovered_finished")
+	// obsQuarantined counts jobs terminal-failed as poisoned after
+	// exhausting the retry budget.
+	obsQuarantined = serverScope.Counter("quarantined")
+	// obsJournalErrors counts journal appends that failed after the
+	// job already finished in memory (durability degraded, service
+	// up).
+	obsJournalErrors = serverScope.Counter("journal_errors")
+	// obsCompactSkipped counts compactions abandoned on error (the old
+	// log stays authoritative).
+	obsCompactSkipped = serverScope.Counter("compactions_skipped")
+	// obsTombstones tracks evicted-job tombstones retained so GET can
+	// answer 410 instead of 404.
+	obsTombstones = serverScope.Gauge("tombstones")
 )

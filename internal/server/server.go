@@ -21,15 +21,23 @@
 //     keeps serving.
 //   - Idempotency keys: a client retry after a dropped connection
 //     returns the existing job instead of re-running the search.
+//   - Durability (Config.DataDir): every job state transition is
+//     journaled (internal/journal) before it is acknowledged. A crash
+//     or redeploy loses nothing: queued jobs re-enqueue in order,
+//     jobs interrupted mid-run retry under capped exponential backoff
+//     (and are quarantined as poisoned once the retry budget is
+//     spent), finished jobs and their idempotency keys are restored,
+//     and results replay from disk without re-running the search.
 //
 // The serving state machine and job lifecycle are documented in
-// DESIGN.md §9.
+// DESIGN.md §9; the durability model in §11.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +68,30 @@ type Config struct {
 	// PipelineWorkers is handed to each pipeline run (orbit search
 	// and publish-stage sampling pools). Default 1.
 	PipelineWorkers int
+
+	// DataDir enables the durable job store (DESIGN.md §11): every job
+	// state transition is journaled there before it is acknowledged,
+	// queued and finished jobs survive restart, and idempotency keys
+	// work across restarts. Empty means memory-only (the pre-journal
+	// behavior: a crash loses the queue).
+	DataDir string
+	// RetryMax is the per-job run-attempt budget: a job whose attempts
+	// all died with the process (crash, kill, redeploy mid-run) is
+	// quarantined as poisoned once it has consumed RetryMax attempts,
+	// instead of crash-looping the daemon. Default 3.
+	RetryMax int
+	// RetryBackoff is the base delay before re-running an interrupted
+	// job: attempt n+1 waits RetryBackoff·2ⁿ⁻¹, capped at
+	// 64×RetryBackoff. Default 1s.
+	RetryBackoff time.Duration
+	// CompactMinRecords floors journal compaction: the log is never
+	// rewritten while it holds fewer records. Default 1024.
+	CompactMinRecords int
+
+	// runPipeline overrides the job executor (pipeline.Run). Test seam
+	// only: it must be in place before New so recovered jobs — which
+	// can reach a worker before New returns — run through it too.
+	runPipeline func(context.Context, pipeline.Config) (*pipeline.Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +112,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PipelineWorkers <= 0 {
 		c.PipelineWorkers = 1
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Second
+	}
+	if c.CompactMinRecords <= 0 {
+		c.CompactMinRecords = 1024
 	}
 	return c
 }
@@ -104,6 +145,15 @@ type Server struct {
 
 	draining atomic.Bool
 	wg       sync.WaitGroup
+	// closing closes when Shutdown starts, waking retry goroutines
+	// parked on backoff timers so a graceful drain never waits out a
+	// backoff.
+	closing chan struct{}
+
+	// store is the durable job store (nil for memory-only servers).
+	store *store
+	// recovery is what the journal replay found, frozen at New.
+	recovery RecoveryStats
 
 	mu       sync.Mutex
 	queue    chan *Job
@@ -111,6 +161,7 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // insertion order, for bounded retention
 	idem     map[string]*Job
+	tombs    map[string]JobState // evicted jobs' terminal states
 	nextID   uint64
 	inflight int // jobs admitted but not yet finished
 	// recent is a ring of the last finished jobs' wall times, feeding
@@ -121,25 +172,50 @@ type Server struct {
 }
 
 // New starts a server: the worker pool is live on return, and
-// Handler's routes can be served immediately. Callers own the
+// Handler's routes can be served immediately. With Config.DataDir set
+// it first replays the journal — re-enqueueing queued jobs in order,
+// scheduling retries for jobs a crash interrupted, quarantining jobs
+// whose retry budget is spent, and restoring finished jobs and their
+// idempotency keys — and fails loudly on a corrupt journal rather
+// than serving from a state it cannot trust. Callers own the
 // lifecycle: every New must be paired with a Shutdown.
-func New(cfg Config) *Server {
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	run := cfg.runPipeline
+	if run == nil {
+		run = pipeline.Run
+	}
 	s := &Server{
 		cfg:         cfg,
-		runPipeline: pipeline.Run,
+		runPipeline: run,
 		baseCtx:     ctx,
 		cancelJobs:  cancel,
+		closing:     make(chan struct{}),
 		queue:       make(chan *Job, cfg.QueueCapacity),
 		jobs:        make(map[string]*Job),
 		idem:        make(map[string]*Job),
+		tombs:       make(map[string]JobState),
+	}
+	if cfg.DataDir != "" {
+		st, rs, info, err := openStore(cfg.DataDir, cfg.CompactMinRecords)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		s.recovery.TornBytes = info.TornBytes
+		// Replay before the workers start, so recovered jobs enter the
+		// queue ahead of any new submission.
+		s.mu.Lock()
+		s.recoverJobs(rs)
+		s.mu.Unlock()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Draining reports whether admission has stopped (readiness is 503).
@@ -174,6 +250,13 @@ func (s *Server) submit(req jobRequest, idemKey string) (*Job, bool, error) {
 		obsRejectedDraining.Inc()
 		return nil, false, errDraining
 	}
+	// Admission check before any disk write: a shed job must cost the
+	// journal nothing. Senders all hold s.mu and workers only drain,
+	// so a free slot observed here cannot vanish before the send.
+	if len(s.queue) == cap(s.queue) {
+		obsRejectedFull.Inc()
+		return nil, false, errQueueFull
+	}
 	id := fmt.Sprintf("j%06d", s.nextID)
 	job := &Job{
 		id:        id,
@@ -183,12 +266,23 @@ func (s *Server) submit(req jobRequest, idemKey string) (*Job, bool, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	select {
-	case s.queue <- job:
-	default:
-		obsRejectedFull.Inc()
-		return nil, false, errQueueFull
+	if s.store != nil {
+		// Durability before acknowledgment: the request graph is
+		// spooled and the accepted record fsynced before the job can
+		// reach a worker or the client. A journal failure refuses the
+		// job — unjournaled work would silently lose the restart
+		// guarantee the caller is relying on.
+		if err := req.graph.WriteFile(s.store.spoolPath(id)); err != nil {
+			return nil, false, fmt.Errorf("server: spool request: %w", err)
+		}
+		if err := s.store.append(acceptedRecord(job)); err != nil {
+			os.Remove(s.store.spoolPath(id))
+			return nil, false, err
+		}
 	}
+	// Cannot block: every sender holds s.mu and the slot check above
+	// saw room; workers only ever free slots.
+	s.queue <- job
 	s.nextID++
 	s.inflight++
 	s.jobs[id] = job
@@ -197,6 +291,7 @@ func (s *Server) submit(req jobRequest, idemKey string) (*Job, bool, error) {
 		s.idem[idemKey] = job
 	}
 	s.evictLocked()
+	s.maybeCompactLocked()
 	obsSubmitted.Inc()
 	obsQueueDepth.Set(int64(len(s.queue)))
 	return job, true, nil
@@ -226,6 +321,17 @@ func (s *Server) evictLocked() {
 			delete(s.jobs, id)
 			if j.idemKey != "" {
 				delete(s.idem, j.idemKey)
+			}
+			// The terminal state outlives the eviction as a tombstone,
+			// so GET /v1/jobs/{id} can distinguish "evicted after
+			// finishing as X" (410) from "never existed" (404). The
+			// journal still holds the full terminal record until a
+			// compaction reduces it to a tomb.
+			s.tombs[id] = j.State()
+			obsTombstones.Set(int64(len(s.tombs)))
+			if s.store != nil {
+				os.Remove(s.store.spoolPath(id))
+				os.Remove(s.store.resultPath(id))
 			}
 			excess--
 			continue
@@ -271,6 +377,7 @@ func (s *Server) noteFinished(d time.Duration) {
 	s.recentN++
 	s.inflight--
 	obsQueueDepth.Set(int64(len(s.queue)))
+	s.maybeCompactLocked()
 	s.mu.Unlock()
 	obsJobWall.Observe(d)
 }
@@ -299,13 +406,26 @@ func (s *Server) runJob(job *Job) {
 	}()
 
 	// A drain already past its deadline cancels baseCtx; jobs still in
-	// the queue are marked canceled without starting the pipeline.
+	// the queue are marked canceled without starting the pipeline. No
+	// terminal record is journaled: on disk the job stays pending, so
+	// the next start picks it back up.
 	if err := s.baseCtx.Err(); err != nil {
 		obsCanceled.Inc()
-		job.finish(JobCanceled, &pipeline.Summary{Error: "server shut down before the job ran"}, nil)
+		job.finish(JobCanceled, &pipeline.Summary{Error: "server shut down before the job ran; it will be retried on the next start"}, nil)
 		return
 	}
-	job.setRunning()
+	attempt := job.setRunning()
+	if s.store != nil {
+		// The running record is the crash-detection tripwire: a journal
+		// that ends accepted+running is a job the process died under,
+		// and each record is one unit of the retry budget. It must be
+		// durable before the pipeline can touch the job.
+		if err := s.store.append(record{Type: recRunning, ID: job.id, Attempt: attempt}); err != nil {
+			obsFailed.Inc()
+			job.finish(JobFailed, &pipeline.Summary{Error: fmt.Sprintf("journal unavailable, refusing to run unjournaled work: %v", err)}, nil)
+			return
+		}
+	}
 
 	ctx := s.baseCtx
 	if job.req.timeout > 0 {
@@ -324,7 +444,8 @@ func (s *Server) runJob(job *Job) {
 	if err != nil {
 		// Distinguish "the server is draining" from "the job failed":
 		// a cancellation that arrived from baseCtx is the server's
-		// doing, not the request's.
+		// doing, not the request's — and it too gets no terminal
+		// record, so the interrupted job resumes after a redeploy.
 		if errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil {
 			obsCanceled.Inc()
 			job.finish(JobCanceled, sum, nil)
@@ -332,10 +453,47 @@ func (s *Server) runJob(job *Job) {
 		}
 		obsFailed.Inc()
 		job.finish(JobFailed, sum, nil)
+		s.journalTerminal(job, recFailed, sum)
 		return
 	}
+	rel := publish.FromResult(res.Anonymized)
+	if s.store != nil {
+		// The artifact must be durable before the done record: a
+		// replayed "done" promises a result file, and a crash between
+		// the two replays as interrupted and simply re-runs.
+		if werr := rel.WriteFile(s.store.resultPath(job.id)); werr != nil {
+			obsFailed.Inc()
+			fsum := &pipeline.Summary{Error: fmt.Sprintf("persist result: %v", werr)}
+			job.finish(JobFailed, fsum, nil)
+			s.journalTerminal(job, recFailed, fsum)
+			return
+		}
+	}
 	obsCompleted.Inc()
-	job.finish(JobDone, sum, publish.FromResult(res.Anonymized))
+	job.finish(JobDone, sum, rel)
+	s.journalTerminal(job, recDone, sum)
+}
+
+// journalTerminal appends a job's terminal record and retires its
+// spool file. The journaled summary drops the obs metrics map — a
+// process-cumulative snapshot is meaningless after a restart and
+// would dominate the record size.
+func (s *Server) journalTerminal(job *Job, typ string, sum *pipeline.Summary) {
+	if s.store == nil {
+		return
+	}
+	if sum != nil && sum.Metrics != nil {
+		lean := *sum
+		lean.Metrics = nil
+		sum = &lean
+	}
+	if err := s.store.append(record{Type: typ, ID: job.id, Summary: sum}); err != nil {
+		// The job finished in memory; the worst a lost terminal record
+		// costs is a redundant re-run after the next restart.
+		obsJournalErrors.Inc()
+		return
+	}
+	os.Remove(s.store.spoolPath(job.id))
 }
 
 // Shutdown drains the server: admission stops immediately (readiness
@@ -352,6 +510,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		// Wake retry goroutines parked on backoff timers; their jobs
+		// stay pending in the journal for the next start.
+		close(s.closing)
 	}
 	s.mu.Unlock()
 
@@ -371,5 +532,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Release the base context either way (the graceful path never
 	// fired it).
 	s.cancelJobs()
+	if s.store != nil {
+		// All appenders (workers, retry goroutines) are in s.wg and
+		// have exited; the journal can close.
+		s.store.close()
+	}
 	return err
 }

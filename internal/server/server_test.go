@@ -26,12 +26,22 @@ func fig3Body(t *testing.T) string {
 	return sb.String()
 }
 
+// mustNew starts a Server, failing the test on a store/journal error.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // newTestServer starts a Server plus its httptest front end. The
 // cleanup drains the server and closes the listener even when the test
 // forgot, so no test leaks workers into the next.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -212,19 +222,37 @@ func TestRetentionEviction(t *testing.T) {
 	if _, ok := s.job(st.ID); !ok {
 		t.Error("newest job missing")
 	}
+	// An evicted job is not a bare 404: its terminal state survives as
+	// a tombstone and the answer is an explicit 410 naming it.
 	resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gone apiError
+	if err := json.NewDecoder(resp.Body).Decode(&gone); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("evicted job status = %d, want 410", resp.StatusCode)
+	}
+	if !strings.Contains(gone.Error, "evicted") || !strings.Contains(gone.Error, string(JobDone)) {
+		t.Errorf("410 body does not explain the eviction: %q", gone.Error)
+	}
+	// A job id that never existed is still a plain 404.
+	resp, err = http.Get(ts.URL + "/v1/jobs/jNEVER")
 	if err != nil {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("evicted job status = %d, want 404", resp.StatusCode)
+		t.Errorf("never-existed job status = %d, want 404", resp.StatusCode)
 	}
 }
 
 func TestRetryAfterEstimate(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	defer s.Shutdown(context.Background())
 	if got := s.retryAfter(); got != time.Second {
 		t.Errorf("cold retryAfter = %v, want 1s floor", got)

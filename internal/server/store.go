@@ -1,0 +1,572 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ksymmetry/internal/graph"
+	"ksymmetry/internal/journal"
+	"ksymmetry/internal/pipeline"
+	"ksymmetry/internal/publish"
+)
+
+// The durable job store (DESIGN.md §11): every job state transition is
+// appended to a checksummed journal before the transition is
+// acknowledged, so a crash or redeploy loses no queued job, no
+// finished result, and no idempotency key. Layout under Config.DataDir:
+//
+//	journal.log          the transition log (internal/journal)
+//	spool/<id>.edges     request graphs of queued/running jobs
+//	results/<id>.release finished artifacts, written before the "done"
+//	                     record so a replayed "done" always has one
+//
+// Replay is a per-job state machine over the records in append order:
+//
+//	accepted             → re-enqueue (the crash beat the first run)
+//	accepted+running×n   → interrupted: retry under capped exponential
+//	                       backoff, or quarantine once n ≥ RetryMax
+//	…+terminal           → restore the finished job (idempotent replay
+//	                       across restarts)
+//
+// Compaction rewrites the log as one "snap" record per retained job
+// plus one "tomb" per evicted terminal job once the log holds several
+// records per live entry, using the atomicio tmp+fsync+rename+dirsync
+// discipline so a crash mid-compaction leaves the old log intact.
+
+// Record types. Append-time records mirror the job lifecycle;
+// snap/tomb exist only as compaction output.
+const (
+	recAccepted    = "accepted"
+	recRunning     = "running"
+	recDone        = "done"
+	recFailed      = "failed"
+	recCanceled    = "canceled"
+	recQuarantined = "quarantined"
+	recSnap        = "snap"
+	recTomb        = "tomb"
+)
+
+// record is the JSON payload of one journal entry.
+type record struct {
+	Type string `json:"type"`
+	ID   string `json:"id"`
+	Idem string `json:"idem,omitempty"`
+
+	// Request parameters (accepted/snap), enough to re-run the job
+	// with the spooled graph.
+	K           int    `json:"k,omitempty"`
+	Minimal     bool   `json:"minimal,omitempty"`
+	Mode        string `json:"mode,omitempty"`
+	TimeoutNS   int64  `json:"timeout_ns,omitempty"`
+	SubmittedNS int64  `json:"submitted_ns,omitempty"`
+
+	// Attempt is the 1-based run attempt (running), or the attempts
+	// consumed so far (snap).
+	Attempt int `json:"attempt,omitempty"`
+
+	// State is the job state at compaction time (snap/tomb).
+	State string `json:"state,omitempty"`
+
+	// Summary carries the terminal outcome (done/failed/canceled/
+	// quarantined/terminal snap).
+	Summary *pipeline.Summary `json:"summary,omitempty"`
+	// Reason documents why a job was quarantined or canceled.
+	Reason string `json:"reason,omitempty"`
+}
+
+// store owns the on-disk half of the server. Its mutex serializes
+// journal appends (workers and retry goroutines append without s.mu)
+// against compaction rewrites.
+type store struct {
+	dir string
+
+	mu  sync.Mutex
+	log *journal.Log
+
+	// compactMin is the record-count floor below which compaction is
+	// never attempted.
+	compactMin int
+}
+
+// replayJob accumulates one job's records during replay.
+type replayJob struct {
+	rec      record // the accepted/snap record (request parameters)
+	attempts int    // running records seen
+	state    JobState
+	summary  *pipeline.Summary
+	reason   string
+}
+
+// replayState is the journal reduced to per-job state, in first-seen
+// order.
+type replayState struct {
+	jobs  map[string]*replayJob
+	order []string
+	tombs map[string]JobState
+	maxID uint64
+}
+
+// parseJobID extracts the numeric part of a "j%06d" id.
+func parseJobID(id string) (uint64, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	return n, err == nil
+}
+
+// apply folds one record into the replay state. Unknown record types
+// and references to never-accepted jobs fail loudly: the journal is
+// written by this package alone, so surprises mean corruption the
+// checksum could not see (or a version skew the operator must handle).
+func (rs *replayState) apply(rec record) error {
+	if rec.ID == "" {
+		return fmt.Errorf("server: journal record %q without job id", rec.Type)
+	}
+	if n, ok := parseJobID(rec.ID); ok && n >= rs.maxID {
+		rs.maxID = n + 1
+	}
+	switch rec.Type {
+	case recAccepted, recSnap:
+		if _, dup := rs.jobs[rec.ID]; dup {
+			return fmt.Errorf("server: journal re-accepts job %s", rec.ID)
+		}
+		rj := &replayJob{rec: rec, state: JobQueued}
+		if rec.Type == recSnap {
+			rj.attempts = rec.Attempt
+			rj.state = JobState(rec.State)
+			rj.summary = rec.Summary
+			rj.reason = rec.Reason
+		}
+		rs.jobs[rec.ID] = rj
+		rs.order = append(rs.order, rec.ID)
+	case recRunning:
+		rj, ok := rs.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("server: journal runs unaccepted job %s", rec.ID)
+		}
+		rj.attempts++
+		rj.state = JobRunning
+	case recDone, recFailed, recCanceled, recQuarantined:
+		rj, ok := rs.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("server: journal finishes unaccepted job %s", rec.ID)
+		}
+		switch rec.Type {
+		case recDone:
+			rj.state = JobDone
+		case recFailed:
+			rj.state = JobFailed
+		case recCanceled:
+			rj.state = JobCanceled
+		case recQuarantined:
+			rj.state = JobQuarantined
+		}
+		rj.summary = rec.Summary
+		rj.reason = rec.Reason
+	case recTomb:
+		delete(rs.jobs, rec.ID)
+		rs.tombs[rec.ID] = JobState(rec.State)
+	default:
+		return fmt.Errorf("server: journal record of unknown type %q", rec.Type)
+	}
+	return nil
+}
+
+// openStore opens (or initializes) the data directory and replays the
+// journal.
+func openStore(dir string, compactMin int) (*store, *replayState, journal.RecoveryInfo, error) {
+	rs := &replayState{jobs: make(map[string]*replayJob), tombs: make(map[string]JobState)}
+	var info journal.RecoveryInfo
+	for _, d := range []string{dir, filepath.Join(dir, "spool"), filepath.Join(dir, "results")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, info, fmt.Errorf("server: data dir: %w", err)
+		}
+	}
+	log, info, err := journal.Open(filepath.Join(dir, "journal.log"), func(payload []byte) error {
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("server: undecodable journal record: %w", err)
+		}
+		return rs.apply(rec)
+	})
+	if err != nil {
+		return nil, nil, info, err
+	}
+	st := &store{dir: dir, log: log, compactMin: compactMin}
+	st.sweep(rs)
+	return st, rs, info, nil
+}
+
+// sweep removes spool/result files that no longer belong to a live
+// job: spools of terminal or unknown jobs (a crash between the spool
+// write and the accepted record orphans one), results of jobs that are
+// not done. Atomicio tmp debris inside the data dir is removed too.
+func (st *store) sweep(rs *replayState) {
+	clean := func(sub, suffix string, keep func(id string) bool) {
+		entries, err := os.ReadDir(filepath.Join(st.dir, sub))
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if journal.IsTmp(name) {
+				os.Remove(filepath.Join(st.dir, sub, name))
+				continue
+			}
+			id := strings.TrimSuffix(name, suffix)
+			if id == name || !keep(id) {
+				os.Remove(filepath.Join(st.dir, sub, name))
+			}
+		}
+	}
+	clean("spool", ".edges", func(id string) bool {
+		rj, ok := rs.jobs[id]
+		return ok && (rj.state == JobQueued || rj.state == JobRunning)
+	})
+	clean("results", ".release", func(id string) bool {
+		rj, ok := rs.jobs[id]
+		return ok && rj.state == JobDone
+	})
+}
+
+func (st *store) spoolPath(id string) string {
+	return filepath.Join(st.dir, "spool", id+".edges")
+}
+
+func (st *store) resultPath(id string) string {
+	return filepath.Join(st.dir, "results", id+".release")
+}
+
+// append journals one record and fsyncs. Errors are the caller's to
+// surface: an unjournaled transition must not be acknowledged.
+func (st *store) append(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: encode journal record: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.log.Append(payload)
+}
+
+// needsCompaction reports whether the log has grown to several records
+// per live entry. Tombstones are excluded from the ratio on both
+// sides: a tomb is already a single compacted record, and counting it
+// as "live" would let the log/live ratio asymptote below the trigger
+// (each evicted job leaves ≥3 log records but only 1 tomb), so an
+// evict-heavy workload would never compact and the journal would grow
+// without bound.
+func (st *store) needsCompaction(live, tombs int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := st.log.Records()
+	return n >= st.compactMin && n-tombs >= 4*(live+1)
+}
+
+// rewrite replaces the log with recs (see journal.Rewrite).
+func (st *store) rewrite(recs []record) error {
+	payloads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		p, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("server: encode snapshot record: %w", err)
+		}
+		payloads[i] = p
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.log.Rewrite(payloads)
+}
+
+func (st *store) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.log.Close()
+}
+
+// acceptedRecord renders a job's admission record.
+func acceptedRecord(j *Job) record {
+	return record{
+		Type:        recAccepted,
+		ID:          j.id,
+		Idem:        j.idemKey,
+		K:           j.req.k,
+		Minimal:     j.req.minimal,
+		Mode:        string(j.req.startMode),
+		TimeoutNS:   int64(j.req.timeout),
+		SubmittedNS: j.submitted.UnixNano(),
+	}
+}
+
+// snapRecord renders a job's full current state for compaction.
+func snapRecord(j *Job) record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := record{
+		Type:        recSnap,
+		ID:          j.id,
+		Idem:        j.idemKey,
+		K:           j.req.k,
+		Minimal:     j.req.minimal,
+		Mode:        string(j.req.startMode),
+		TimeoutNS:   int64(j.req.timeout),
+		SubmittedNS: j.submitted.UnixNano(),
+		Attempt:     j.attempt,
+		Summary:     j.summary,
+		Reason:      j.reason,
+	}
+	switch j.state {
+	case JobDone, JobFailed, JobCanceled, JobQuarantined:
+		rec.State = string(j.state)
+	default:
+		// Queued and running jobs snapshot as queued-with-attempts: if
+		// the process dies before the run finishes, replay retries it —
+		// exactly what the accepted+running chain would have meant.
+		rec.State = string(JobQueued)
+	}
+	return rec
+}
+
+// jobFromReplay reconstructs an in-memory Job. Queued/interrupted jobs
+// get their graph from the spool; a missing or corrupt spool fails the
+// job loudly instead of resurrecting it half-formed.
+func (s *Server) jobFromReplay(id string, rj *replayJob) *Job {
+	job := &Job{
+		id:        id,
+		idemKey:   rj.rec.Idem,
+		submitted: time.Unix(0, rj.rec.SubmittedNS),
+		attempt:   rj.attempts,
+		done:      make(chan struct{}),
+		req: jobRequest{
+			k:         rj.rec.K,
+			minimal:   rj.rec.Minimal,
+			startMode: pipeline.PartitionMode(rj.rec.Mode),
+			timeout:   time.Duration(rj.rec.TimeoutNS),
+		},
+	}
+	switch rj.state {
+	case JobDone, JobFailed, JobCanceled, JobQuarantined:
+		job.state = rj.state
+		job.summary = rj.summary
+		job.reason = rj.reason
+		job.finished = time.Unix(0, rj.rec.SubmittedNS) // best effort; exact finish time not journaled
+		close(job.done)
+	default:
+		g, err := graph.ReadFile(s.store.spoolPath(id))
+		if err != nil {
+			// The accepted record promised a spooled graph; without it
+			// the job cannot run. Terminal-fail it with the reason on
+			// record rather than dropping it silently.
+			job.state = JobFailed
+			job.summary = &pipeline.Summary{Error: fmt.Sprintf("recovery: spooled request lost: %v", err)}
+			close(job.done)
+			_ = s.store.append(record{Type: recFailed, ID: id, Summary: job.summary})
+			return job
+		}
+		job.req.graph = g
+		job.state = JobQueued
+	}
+	return job
+}
+
+// recoverJobs rebuilds the server's maps from the replayed journal and
+// schedules the work the crash interrupted. Called from New before the
+// workers start.
+func (s *Server) recoverJobs(rs *replayState) {
+	s.nextID = rs.maxID
+	s.tombs = rs.tombs
+	obsTombstones.Set(int64(len(s.tombs)))
+	for _, id := range rs.order {
+		rj := rs.jobs[id]
+		job := s.jobFromReplay(id, rj)
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		if job.idemKey != "" {
+			s.idem[job.idemKey] = job
+		}
+		switch {
+		case job.terminal():
+			s.recovery.Finished++
+			obsRecoveredFinished.Inc()
+		case rj.state == JobRunning || rj.attempts > 0:
+			// Interrupted mid-run by the crash: retry with backoff, or
+			// quarantine when the budget is spent.
+			if rj.attempts >= s.cfg.RetryMax {
+				s.quarantine(job, fmt.Sprintf(
+					"quarantined as poisoned: %d run attempts all died with the process (crash or kill); retry budget %d exhausted",
+					rj.attempts, s.cfg.RetryMax))
+				s.recovery.Quarantined++
+				continue
+			}
+			s.recovery.Interrupted++
+			s.inflight++
+			obsRecoveredInterrupted.Inc()
+			s.enqueueAsync(job, s.backoffFor(rj.attempts))
+		default:
+			// Still queued at crash time: re-enqueue in order.
+			s.recovery.Requeued++
+			s.inflight++
+			obsRecoveredQueued.Inc()
+			s.enqueueAsync(job, 0)
+		}
+	}
+	s.evictLocked()
+}
+
+// backoffFor is the capped exponential retry delay before attempt
+// n+1: RetryBackoff·2ⁿ⁻¹, capped at 64×RetryBackoff.
+func (s *Server) backoffFor(attempts int) time.Duration {
+	d := s.cfg.RetryBackoff
+	for i := 1; i < attempts && d < 64*s.cfg.RetryBackoff; i++ {
+		d *= 2
+	}
+	if max := 64 * s.cfg.RetryBackoff; d > max {
+		d = max
+	}
+	return d
+}
+
+// quarantine terminal-fails a poisoned job. Caller holds s.mu or is
+// single-threaded (recovery).
+func (s *Server) quarantine(job *Job, reason string) {
+	job.reason = reason
+	job.finish(JobQuarantined, &pipeline.Summary{Error: reason}, nil)
+	obsQuarantined.Inc()
+	if s.store != nil {
+		_ = s.store.append(record{Type: recQuarantined, ID: job.id, Reason: reason, Summary: job.summary})
+		os.Remove(s.store.spoolPath(job.id))
+	}
+}
+
+// enqueueAsync hands job to the worker pool after delay, waiting for
+// queue room if necessary. It backs both the retry/backoff path and
+// recovered backlogs larger than the queue capacity. The goroutine
+// exits promptly on shutdown, marking a job it never delivered as
+// canceled.
+func (s *Server) enqueueAsync(job *Job, delay time.Duration) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		for {
+			select {
+			case <-timer.C:
+			case <-s.closing:
+				s.dropUndelivered(job)
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				s.dropUndelivered(job)
+				return
+			}
+			select {
+			case s.queue <- job:
+				obsQueueDepth.Set(int64(len(s.queue)))
+				s.mu.Unlock()
+				return
+			default:
+			}
+			s.mu.Unlock()
+			// Queue still full: retry shortly. The worker pool is
+			// draining it, so this resolves in one or two rounds.
+			timer.Reset(50 * time.Millisecond)
+		}
+	}()
+}
+
+// dropUndelivered marks a job the shutdown beat to the queue. The
+// journal deliberately gets no terminal record: on disk the job stays
+// accepted (or interrupted), so the next start re-enqueues it — a
+// redeploy during a retry backoff postpones the job, it does not kill
+// it.
+func (s *Server) dropUndelivered(job *Job) {
+	job.finish(JobCanceled, &pipeline.Summary{Error: "server shut down before the job could run; it will be retried on the next start"}, nil)
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+// maybeCompactLocked snapshots + compacts the journal when it has
+// grown well past the live set. Caller holds s.mu.
+func (s *Server) maybeCompactLocked() {
+	if s.store == nil || !s.store.needsCompaction(len(s.jobs), len(s.tombs)) {
+		return
+	}
+	recs := make([]record, 0, len(s.order)+len(s.tombs))
+	// Tombstones first: they are the cheapest records and replay
+	// order between distinct ids does not matter, but keeping job
+	// records in insertion order preserves re-enqueue order.
+	for id, state := range s.tombs {
+		recs = append(recs, record{Type: recTomb, ID: id, State: string(state)})
+	}
+	for _, id := range s.order {
+		recs = append(recs, snapRecord(s.jobs[id]))
+	}
+	if err := s.store.rewrite(recs); err != nil {
+		// Compaction is an optimization: losing one attempt costs disk
+		// space, not correctness. The old log is still authoritative.
+		obsCompactSkipped.Inc()
+	}
+}
+
+// tomb reports the recorded terminal state of an evicted job.
+func (s *Server) tomb(id string) (JobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.tombs[id]
+	return st, ok
+}
+
+// releaseFor returns a done job's artifact, loading it from the
+// results directory when the job was restored from the journal and
+// the bundle is no longer in memory.
+func (s *Server) releaseFor(j *Job) (*publish.Release, error) {
+	j.mu.Lock()
+	rel := j.release
+	j.mu.Unlock()
+	if rel != nil || s.store == nil {
+		return rel, nil
+	}
+	rel, err := publish.ReadFile(s.store.resultPath(j.id))
+	if err != nil {
+		return nil, fmt.Errorf("server: restored job %s lost its result artifact: %w", j.id, err)
+	}
+	j.mu.Lock()
+	j.release = rel
+	j.mu.Unlock()
+	return rel, nil
+}
+
+// RecoveryStats reports what a journal-backed start recovered, for the
+// daemon's startup log.
+type RecoveryStats struct {
+	// Requeued is the count of jobs that were queued at crash time and
+	// were re-enqueued in order.
+	Requeued int
+	// Interrupted is the count of jobs that were running at crash time
+	// and were scheduled for retry with backoff.
+	Interrupted int
+	// Quarantined is the count of jobs whose retry budget was already
+	// spent and were terminal-failed as poisoned.
+	Quarantined int
+	// Finished is the count of terminal jobs restored (their results
+	// and idempotency keys survive the restart).
+	Finished int
+	// TornBytes is the length of the torn journal tail truncated at
+	// open (0 for a clean shutdown).
+	TornBytes int64
+}
+
+// Recovery returns the stats of the journal replay that started this
+// server (zero-valued for memory-only servers).
+func (s *Server) Recovery() RecoveryStats { return s.recovery }

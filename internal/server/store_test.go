@@ -1,0 +1,410 @@
+// Restart-replay suite for the durable job store: graceful and forced
+// restarts over the same data directory, retry/backoff of interrupted
+// jobs, quarantine of poisoned ones, idempotency across restarts,
+// tombstones, compaction, and corrupt-journal refusal. A "crash" here
+// is a forced drain (expired deadline): like a real crash it leaves
+// the journal with no terminal record for in-flight jobs, which is
+// the state replay must handle; the byte-level torn-tail cases live
+// in internal/journal, and real SIGKILLs in crash_test.go and
+// scripts/smoke_ksymd.sh.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ksymmetry/internal/pipeline"
+	"ksymmetry/internal/publish"
+)
+
+// crash abandons the server the way a crash would: in-flight work is
+// cancelled and nothing terminal is journaled for it.
+func crash(t *testing.T, s *Server) {
+	t.Helper()
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	_ = s.Shutdown(expired)
+}
+
+func gracefulStop(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+func TestRestartRestoresFinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	counted := func(ctx context.Context, cfg pipeline.Config) (*pipeline.Result, error) {
+		runs.Add(1)
+		return pipeline.Run(ctx, cfg)
+	}
+
+	s1, ts1 := newTestServer(t, Config{DataDir: dir, runPipeline: counted})
+	hdr := map[string]string{"Idempotency-Key": "survives-restart"}
+	code, st, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, s1, st.ID)
+	wantRel := fetchRelease(t, ts1.URL+"/v1/jobs/"+st.ID+"/result")
+	ts1.Close()
+	gracefulStop(t, s1)
+
+	// Restart over the same directory: the finished job, its summary,
+	// its idempotency key, and its result must all be back.
+	s2, ts2 := newTestServer(t, Config{DataDir: dir, runPipeline: counted})
+	if got := s2.Recovery().Finished; got != 1 {
+		t.Fatalf("Recovery().Finished = %d, want 1", got)
+	}
+	j, ok := s2.job(st.ID)
+	if !ok {
+		t.Fatalf("job %s not restored", st.ID)
+	}
+	if j.State() != JobDone {
+		t.Fatalf("restored state = %s, want done", j.State())
+	}
+	if j.status().Summary == nil || j.status().Summary.PartitionMode == "" {
+		t.Fatal("restored job lost its summary")
+	}
+
+	// Idempotent resubmit after the restart returns the original job
+	// without re-running the search.
+	before := runs.Load()
+	code, st2, _ := postJob(t, ts2.URL+"/v1/anonymize?k=2", fig3Body(t), hdr)
+	if code != http.StatusOK {
+		t.Fatalf("post-restart replay submit = %d, want 200", code)
+	}
+	if st2.ID != st.ID {
+		t.Fatalf("replay created a new job: %s vs %s", st2.ID, st.ID)
+	}
+	if runs.Load() != before {
+		t.Fatal("idempotent resubmit re-ran the pipeline after restart")
+	}
+
+	// The result replays from disk, byte-identical content.
+	gotRel := fetchRelease(t, ts2.URL+"/v1/jobs/"+st.ID+"/result")
+	if wantRel.Graph.N() != gotRel.Graph.N() || wantRel.Graph.M() != gotRel.Graph.M() {
+		t.Fatalf("restored release differs: %d/%d vs %d/%d nodes/edges",
+			gotRel.Graph.N(), gotRel.Graph.M(), wantRel.Graph.N(), wantRel.Graph.M())
+	}
+	// New submissions must not collide with recovered ids.
+	code, st3, _ := postJob(t, ts2.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh submit = %d", code)
+	}
+	if st3.ID == st.ID {
+		t.Fatal("job id reused after restart")
+	}
+	waitDone(t, s2, st3.ID)
+}
+
+func fetchRelease(t *testing.T, url string) *publish.Release {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", url, resp.StatusCode)
+	}
+	rel, err := publish.Read(resp.Body)
+	if err != nil {
+		t.Fatalf("release did not parse: %v", err)
+	}
+	return rel
+}
+
+func TestCrashRequeuesQueuedAndRetriesRunning(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	s1, ts1 := newTestServer(t, Config{
+		DataDir: dir, Workers: 1, QueueCapacity: 4,
+		runPipeline: blockThenRun(release, started),
+	})
+	// Job A reaches a worker (running record journaled); jobs B and C
+	// sit in the queue (accepted records only).
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, st, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		ids = append(ids, st.ID)
+		if i == 0 {
+			<-started
+		}
+	}
+	ts1.Close()
+	crash(t, s1)
+
+	// Restart with the real pipeline: all three jobs must complete —
+	// B and C re-enqueued in order, A retried on attempt 2.
+	s2 := mustNew(t, Config{DataDir: dir, Workers: 2, RetryBackoff: 10 * time.Millisecond})
+	defer gracefulStop(t, s2)
+	rec := s2.Recovery()
+	if rec.Requeued != 2 || rec.Interrupted != 1 {
+		t.Fatalf("Recovery = %+v, want 2 requeued + 1 interrupted", rec)
+	}
+	for i, id := range ids {
+		j := waitDone(t, s2, id)
+		if j.State() != JobDone {
+			t.Fatalf("job %d (%s) = %s, want done (summary %+v)", i, id, j.State(), j.status().Summary)
+		}
+	}
+	if j, _ := s2.job(ids[0]); j.status().Attempt != 2 {
+		t.Fatalf("interrupted job attempt = %d, want 2", j.status().Attempt)
+	}
+}
+
+func TestQuarantineAfterRetryBudget(t *testing.T) {
+	dir := t.TempDir()
+	hang := func(ctx context.Context, _ pipeline.Config) (*pipeline.Result, error) {
+		<-ctx.Done()
+		return &pipeline.Result{}, ctx.Err()
+	}
+	// Attempt 1: submit, let the worker pick it up, crash.
+	s, ts := newTestServer(t, Config{DataDir: dir, runPipeline: hang})
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitState(t, s, st.ID, JobRunning)
+	ts.Close()
+	crash(t, s)
+
+	// Attempts 2 and 3: each restart retries the job, which hangs its
+	// worker again until the next crash — the crash-loop shape.
+	for i := 0; i < 2; i++ {
+		s = mustNew(t, Config{DataDir: dir, runPipeline: hang, RetryBackoff: time.Millisecond})
+		waitState(t, s, st.ID, JobRunning)
+		crash(t, s)
+	}
+
+	// Budget (default 3) spent: the next start must quarantine the job
+	// instead of crash-looping, and keep serving other work.
+	s4, ts4 := newTestServer(t, Config{DataDir: dir, RetryBackoff: time.Millisecond})
+	if got := s4.Recovery().Quarantined; got != 1 {
+		t.Fatalf("Recovery().Quarantined = %d, want 1", got)
+	}
+	j, ok := s4.job(st.ID)
+	if !ok {
+		t.Fatal("quarantined job not retained")
+	}
+	if j.State() != JobQuarantined {
+		t.Fatalf("state = %s, want quarantined", j.State())
+	}
+	status := j.status()
+	if !strings.Contains(status.Reason, "3 run attempts") || !strings.Contains(status.Reason, "poisoned") {
+		t.Fatalf("quarantine reason does not record the attempt history: %q", status.Reason)
+	}
+	// Result endpoint: 410 with the reason.
+	resp, err := http.Get(ts4.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae apiError
+	json.NewDecoder(resp.Body).Decode(&ae)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone || !strings.Contains(ae.Error, "poisoned") {
+		t.Fatalf("quarantined result = %d %q, want 410 + reason", resp.StatusCode, ae.Error)
+	}
+	// The daemon keeps serving: a healthy job completes.
+	code, st2, _ := postJob(t, ts4.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-quarantine submit = %d", code)
+	}
+	if jj := waitDone(t, s4, st2.ID); jj.State() != JobDone {
+		t.Fatalf("post-quarantine job = %s, want done", jj.State())
+	}
+	// The quarantine survives yet another restart as a terminal state
+	// (no fourth attempt).
+	ts4.Close()
+	gracefulStop(t, s4)
+	s5 := mustNew(t, Config{DataDir: dir})
+	defer gracefulStop(t, s5)
+	if j, _ := s5.job(st.ID); j == nil || j.State() != JobQuarantined {
+		t.Fatal("quarantine did not survive restart")
+	}
+	if s5.Recovery().Interrupted != 0 {
+		t.Fatal("quarantined job scheduled for retry after restart")
+	}
+}
+
+// waitState polls until the job reaches state (for non-terminal
+// states Done() cannot signal).
+func waitState(t *testing.T, s *Server, id string, state JobState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, ok := s.job(id)
+		if ok && j.State() == state {
+			return
+		}
+		if time.Now().After(deadline) {
+			now := JobState("missing")
+			if ok {
+				now = j.State()
+			}
+			t.Fatalf("job %s never reached %s (now %s)", id, state, now)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTombstoneSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{DataDir: dir, MaxRetainedJobs: 1})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, st, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		waitDone(t, s1, st.ID)
+		ids = append(ids, st.ID)
+	}
+	ts1.Close()
+	gracefulStop(t, s1)
+
+	s2, ts2 := newTestServer(t, Config{DataDir: dir, MaxRetainedJobs: 1})
+	_ = s2
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae apiError
+	json.NewDecoder(resp.Body).Decode(&ae)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted job after restart = %d, want 410 (%q)", resp.StatusCode, ae.Error)
+	}
+	if !strings.Contains(ae.Error, string(JobDone)) {
+		t.Fatalf("tombstone lost the terminal state: %q", ae.Error)
+	}
+}
+
+func TestCompactionPreservesStateAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	// Low floor so a handful of jobs triggers compaction (each job
+	// writes 3 records: accepted, running, done).
+	s1, ts1 := newTestServer(t, Config{DataDir: dir, MaxRetainedJobs: 2, CompactMinRecords: 8})
+	var last string
+	for i := 0; i < 6; i++ {
+		code, st, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		waitDone(t, s1, st.ID)
+		last = st.ID
+	}
+	if got := s1.store.log.Records(); got >= 18 {
+		t.Fatalf("journal never compacted: %d records for 6 jobs", got)
+	}
+	ts1.Close()
+	gracefulStop(t, s1)
+
+	s2, ts2 := newTestServer(t, Config{DataDir: dir, MaxRetainedJobs: 2, CompactMinRecords: 8})
+	j, ok := s2.job(last)
+	if !ok || j.State() != JobDone {
+		t.Fatalf("job %s not restored from compacted journal", last)
+	}
+	// Its result still serves.
+	fetchRelease(t, ts2.URL+"/v1/jobs/"+last+"/result")
+	// Evicted ids from before the restart still answer 410 (tombs
+	// survived compaction).
+	s2.mu.Lock()
+	tombCount := len(s2.tombs)
+	s2.mu.Unlock()
+	if tombCount == 0 {
+		t.Fatal("compaction dropped the eviction tombstones")
+	}
+}
+
+func TestCorruptJournalRefusesStart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{DataDir: dir})
+	code, st, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, s1, st.ID)
+	ts1.Close()
+	gracefulStop(t, s1)
+
+	// Flip a byte in the middle of the first record: interior
+	// corruption must refuse startup, not silently drop jobs.
+	path := filepath.Join(dir, "journal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{DataDir: dir}); err == nil {
+		t.Fatal("New accepted a corrupt journal")
+	}
+}
+
+// TestSpoolOrphanSweep pins the cleanup pass: spool/results files that
+// belong to no live job (debris from a crash between file write and
+// journal append) are removed at startup.
+func TestSpoolOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{DataDir: dir})
+	code, st, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, s1, st.ID)
+	ts1.Close()
+	gracefulStop(t, s1)
+
+	orphanSpool := filepath.Join(dir, "spool", "j999999.edges")
+	orphanResult := filepath.Join(dir, "results", "j999999.release")
+	orphanTmp := filepath.Join(dir, "spool", "j000077.edges.123.tmp")
+	for _, p := range []string{orphanSpool, orphanResult, orphanTmp} {
+		if err := os.WriteFile(p, []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustNew(t, Config{DataDir: dir})
+	defer gracefulStop(t, s2)
+	for _, p := range []string{orphanSpool, orphanResult, orphanTmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived the sweep", p)
+		}
+	}
+	// The live job's result file is untouched.
+	if _, err := os.Stat(filepath.Join(dir, "results", st.ID+".release")); err != nil {
+		t.Errorf("live result swept away: %v", err)
+	}
+}
+
+func TestMemoryOnlyModeUnchanged(t *testing.T) {
+	// No DataDir: no files are created anywhere, and jobs run as
+	// before (the rest of the pre-journal suite covers behavior).
+	s, ts := newTestServer(t, Config{})
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitDone(t, s, st.ID)
+	if s.store != nil {
+		t.Fatal("memory-only server opened a store")
+	}
+}

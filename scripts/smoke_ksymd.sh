@@ -94,4 +94,72 @@ if find . "$WORK" -name '*.tmp' | grep -q .; then
   echo "leftover tmp files:"; find . "$WORK" -name '*.tmp'; exit 1
 fi
 
-echo "ksymd smoke OK: $JOBS jobs, clean drain, complete artifacts"
+echo "== crash recovery: kill -9 mid-job, restart, replay (DESIGN.md §11)"
+DATA="$WORK/data"
+# Arm a SIGKILL on the second journal append: hit 1 is the job's
+# accepted record, hit 2 its running record — the daemon dies the
+# instant the worker picks the job up, after the write but before the
+# fsync.
+KSYM_CRASH_POINT=journal.after_append_before_fsync KSYM_CRASH_HITS=2 \
+  "$WORK/bin/ksymd" -addr "127.0.0.1:${PORT}" -data-dir "$DATA" \
+  -retry-backoff 100ms 2>"$WORK/ksymd_crash.log" &
+KSYMD_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$KSYMD_PID" || { cat "$WORK/ksymd_crash.log"; echo "ksymd died at startup"; exit 1; }
+  sleep 0.1
+done
+# The 202 races the kill (the worker may die before the response
+# flushes), so the id is not parsed from the response: a fresh data
+# dir always numbers its first job j000000.
+curl -fsS "$BASE/v1/anonymize?k=5&timeout=20s" -H "Idempotency-Key: crash-1" \
+  --data-binary @examples/data/ba200.edges -o "$WORK/crash_submit.json" || true
+rc=0; wait "$KSYMD_PID" || rc=$?
+[ "$rc" -eq 137 ] || { cat "$WORK/ksymd_crash.log"; echo "expected death by SIGKILL (137), got $rc"; exit 1; }
+grep -q "crash point journal.after_append_before_fsync hit 2: SIGKILL" "$WORK/ksymd_crash.log"
+
+echo "== restart replays the journal and completes the job"
+"$WORK/bin/ksymd" -addr "127.0.0.1:${PORT}" -data-dir "$DATA" \
+  -retry-backoff 100ms 2>"$WORK/ksymd_replay.log" &
+KSYMD_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$KSYMD_PID" || { cat "$WORK/ksymd_replay.log"; echo "ksymd died replaying the journal"; exit 1; }
+  sleep 0.1
+done
+grep -q "journal replayed" "$WORK/ksymd_replay.log"
+state=""
+for _ in $(seq 1 200); do
+  state="$(curl -fsS "$BASE/v1/jobs/j000000" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  [ "$state" = done ] && break
+  sleep 0.1
+done
+[ "$state" = done ] || { curl -fsS "$BASE/v1/jobs/j000000"; echo "replayed job stuck in '$state'"; exit 1; }
+curl -fsS "$BASE/v1/jobs/j000000/result" -o "$WORK/replayed.release"
+"$WORK/bin/ksample" -release "$WORK/replayed.release" -count 1 >/dev/null
+
+echo "== idempotent resubmit after the restart does not re-run"
+runs_before="$(curl -fsS "$BASE/metrics" | python3 -c 'import json,sys; print(json.load(sys.stdin).get("pipeline.runs", 0))')"
+curl -fsS "$BASE/v1/anonymize?k=5&timeout=20s" -H "Idempotency-Key: crash-1" \
+  --data-binary @examples/data/ba200.edges -o "$WORK/crash_replay.json"
+python3 - "$WORK/crash_replay.json" <<'EOF'
+import json, sys
+got = json.load(open(sys.argv[1]))["id"]
+assert got == "j000000", f"idempotent resubmit created a new job: {got}"
+EOF
+runs_after="$(curl -fsS "$BASE/metrics" | python3 -c 'import json,sys; print(json.load(sys.stdin).get("pipeline.runs", 0))')"
+[ "$runs_before" = "$runs_after" ] || { echo "idempotent resubmit re-ran the pipeline ($runs_before -> $runs_after)"; exit 1; }
+
+kill -TERM "$KSYMD_PID"
+rc=0; wait "$KSYMD_PID" || rc=$?
+[ "$rc" -eq 0 ] || { cat "$WORK/ksymd_replay.log"; echo "replay daemon exited $rc"; exit 1; }
+
+echo "== no journal debris or orphan spool files after recovery"
+if find "$DATA" -name '*.tmp' | grep -q .; then
+  echo "leftover tmp files in data dir:"; find "$DATA" -name '*.tmp'; exit 1
+fi
+if find "$DATA/spool" -type f 2>/dev/null | grep -q .; then
+  echo "orphan spool files:"; find "$DATA/spool" -type f; exit 1
+fi
+
+echo "ksymd smoke OK: $JOBS jobs, clean drain, complete artifacts, crash replay"
