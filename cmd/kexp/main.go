@@ -27,13 +27,14 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|fig10|fig11|minimal|samplers|attack|extended|all")
-		seed         = flag.Int64("seed", datasets.DefaultSeed, "dataset/sampler seed")
-		quick        = flag.Bool("quick", false, "reduced sample counts for a fast pass")
-		orbitTimeout = flag.Duration("orbit-timeout", 0, "cap per-network orbit computation; a slow network degrades to 𝒯𝒟𝒱(G) instead of stalling the sweep (0 = none)")
-		workers      = flag.Int("workers", 0, "worker pool for experiment fan-out and sampling batches; results are identical at every value (0 = GOMAXPROCS)")
-		metricsOut   = flag.String("metrics", "", "dump kernel metrics as JSON to this path at exit (\"-\" = stdout); enables observability")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
+		exp           = flag.String("exp", "all", "experiment: table1|fig2|fig8|fig9|fig10|fig11|minimal|samplers|attack|extended|all")
+		seed          = flag.Int64("seed", datasets.DefaultSeed, "dataset/sampler seed")
+		quick         = flag.Bool("quick", false, "reduced sample counts for a fast pass")
+		orbitTimeout  = flag.Duration("orbit-timeout", 0, "cap per-network orbit computation; a slow network degrades to 𝒯𝒟𝒱(G) instead of stalling the sweep (0 = none)")
+		workers       = flag.Int("workers", 0, "worker pool for experiment fan-out and sampling batches; results are identical at every value (0 = GOMAXPROCS)")
+		searchWorkers = flag.Int("search-workers", 0, "worker pool for each orbit search's IR work units; results are byte-identical at every value (0 = follow -workers)")
+		metricsOut    = flag.String("metrics", "", "dump kernel metrics as JSON to this path at exit (\"-\" = stdout); enables observability")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 	e.Ctx = ctx
 	e.OrbitTimeout = *orbitTimeout
 	e.Workers = *workers
+	e.SearchWorkers = *searchWorkers
 	w := os.Stdout
 
 	// Paper-scale parameters, reduced under -quick.

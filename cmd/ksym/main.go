@@ -47,22 +47,23 @@ func fatalFlag(err error) {
 
 func main() {
 	var (
-		in          = flag.String("in", "", "input graph in edge-list format")
-		demo        = flag.String("demo", "", "built-in graph instead of -in: fig1|fig3|enron|hepth|nettrace")
-		k           = flag.Int("k", 5, "anonymity parameter k (every orbit reaches ≥ k vertices)")
-		out         = flag.String("out", "", "output path for the anonymized graph (default stdout)")
-		partOut     = flag.String("partition", "", "output path for the published partition 𝒱' (omitted if empty)")
-		release     = flag.String("release", "", "write a single bundled release file (G' + 𝒱' + |V(G)|) to this path")
-		excludeHubs = flag.Float64("exclude-hubs", 0, "exclude this fraction of highest-degree vertices from protection (§5.2)")
-		minimal     = flag.Bool("minimal", false, "rebuild from the backbone to minimize added vertices (§5.1)")
-		useTDP      = flag.Bool("tdp", false, "use the total degree partition instead of exact Orb(G) (the paper's large-graph fallback, §7)")
-		timeout     = flag.Duration("timeout", 0, "bound the whole run; the partition stage degrades down the ladder rather than blowing it (0 = none)")
-		seed        = flag.Int64("seed", datasets.DefaultSeed, "seed for built-in graph generation")
-		workers     = flag.Int("workers", 0, "worker pool for the orbit search and publish-stage sampling (0 = GOMAXPROCS for sampling, sequential search)")
-		samples     = flag.Int("samples", 0, "draw this many approximate samples in the publish stage (deterministic in -seed, independent of -workers)")
-		samplesDir  = flag.String("samples-dir", "", "write publish-stage samples as sample_<i>.edges here (requires -samples)")
-		metricsOut  = flag.String("metrics", "", "dump kernel metrics as JSON to this path at exit (\"-\" = stdout); enables observability")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
+		in            = flag.String("in", "", "input graph in edge-list format")
+		demo          = flag.String("demo", "", "built-in graph instead of -in: fig1|fig3|enron|hepth|nettrace")
+		k             = flag.Int("k", 5, "anonymity parameter k (every orbit reaches ≥ k vertices)")
+		out           = flag.String("out", "", "output path for the anonymized graph (default stdout)")
+		partOut       = flag.String("partition", "", "output path for the published partition 𝒱' (omitted if empty)")
+		release       = flag.String("release", "", "write a single bundled release file (G' + 𝒱' + |V(G)|) to this path")
+		excludeHubs   = flag.Float64("exclude-hubs", 0, "exclude this fraction of highest-degree vertices from protection (§5.2)")
+		minimal       = flag.Bool("minimal", false, "rebuild from the backbone to minimize added vertices (§5.1)")
+		useTDP        = flag.Bool("tdp", false, "use the total degree partition instead of exact Orb(G) (the paper's large-graph fallback, §7)")
+		timeout       = flag.Duration("timeout", 0, "bound the whole run; the partition stage degrades down the ladder rather than blowing it (0 = none)")
+		seed          = flag.Int64("seed", datasets.DefaultSeed, "seed for built-in graph generation")
+		workers       = flag.Int("workers", 0, "worker pool for the orbit search and publish-stage sampling (0 = GOMAXPROCS for sampling, sequential search)")
+		searchWorkers = flag.Int("search-workers", 0, "worker pool for the orbit search's IR work units, overriding -workers for the partition stage; the result is byte-identical at every value (0 = follow -workers)")
+		samples       = flag.Int("samples", 0, "draw this many approximate samples in the publish stage (deterministic in -seed, independent of -workers)")
+		samplesDir    = flag.String("samples-dir", "", "write publish-stage samples as sample_<i>.edges here (requires -samples)")
+		metricsOut    = flag.String("metrics", "", "dump kernel metrics as JSON to this path at exit (\"-\" = stdout); enables observability")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060); enables observability")
 	)
 	flag.Parse()
 
@@ -81,6 +82,9 @@ func main() {
 		fatalFlag(err)
 	}
 	if err := validate.NonNegative("-workers", *workers); err != nil {
+		fatalFlag(err)
+	}
+	if err := validate.NonNegative("-search-workers", *searchWorkers); err != nil {
 		fatalFlag(err)
 	}
 	if *timeout < 0 {
@@ -105,13 +109,14 @@ func main() {
 	defer stop()
 
 	cfg := pipeline.Config{
-		Source:     func(context.Context) (*graph.Graph, error) { return loadGraph(*in, *demo, *seed) },
-		K:          *k,
-		Minimal:    *minimal,
-		Timeout:    *timeout,
-		Workers:    *workers,
-		Samples:    *samples,
-		SampleSeed: *seed,
+		Source:        func(context.Context) (*graph.Graph, error) { return loadGraph(*in, *demo, *seed) },
+		K:             *k,
+		Minimal:       *minimal,
+		Timeout:       *timeout,
+		Workers:       *workers,
+		SearchWorkers: *searchWorkers,
+		Samples:       *samples,
+		SampleSeed:    *seed,
 		Sink: func(_ context.Context, res *pipeline.Result) error {
 			if err := writeOutputs(res.Anonymized, *out, *partOut, *release); err != nil {
 				return err

@@ -36,18 +36,19 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
-		queueCap     = flag.Int("queue", 16, "admission-control queue capacity; at capacity submissions get 429 + Retry-After")
-		workers      = flag.Int("workers", 1, "concurrent pipeline runs")
-		jobWorkers   = flag.Int("job-workers", 1, "worker pool inside each pipeline run (orbit search + sampling)")
-		maxTimeout   = flag.Duration("max-timeout", time.Minute, "per-job deadline ceiling; client timeouts are clamped to this")
-		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight jobs on SIGTERM before they are cancelled")
-		maxBody      = flag.Int64("max-body", 64<<20, "request body cap in bytes")
-		retained     = flag.Int("retained-jobs", 1024, "finished jobs kept for status queries (oldest evicted first)")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this extra address (the main listener already serves /metrics)")
-		dataDir      = flag.String("data-dir", "", "durable job store directory: journal every job transition, survive restarts (empty = in-memory only)")
-		retryMax     = flag.Int("retry-max", 3, "run attempts before a job whose runs keep dying with the process is quarantined as poisoned")
-		retryBackoff = flag.Duration("retry-backoff", time.Second, "base retry delay for crash-interrupted jobs (attempt n waits backoff*2^(n-1), capped at 64x)")
+		addr          = flag.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+		queueCap      = flag.Int("queue", 16, "admission-control queue capacity; at capacity submissions get 429 + Retry-After")
+		workers       = flag.Int("workers", 1, "concurrent pipeline runs")
+		jobWorkers    = flag.Int("job-workers", 1, "worker pool inside each pipeline run (orbit search + sampling)")
+		searchWorkers = flag.Int("search-workers", 0, "worker pool for the orbit search's IR work units, overriding -job-workers for the partition stage; results are byte-identical at every value (0 = follow -job-workers)")
+		maxTimeout    = flag.Duration("max-timeout", time.Minute, "per-job deadline ceiling; client timeouts are clamped to this")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight jobs on SIGTERM before they are cancelled")
+		maxBody       = flag.Int64("max-body", 64<<20, "request body cap in bytes")
+		retained      = flag.Int("retained-jobs", 1024, "finished jobs kept for status queries (oldest evicted first)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this extra address (the main listener already serves /metrics)")
+		dataDir       = flag.String("data-dir", "", "durable job store directory: journal every job transition, survive restarts (empty = in-memory only)")
+		retryMax      = flag.Int("retry-max", 3, "run attempts before a job whose runs keep dying with the process is quarantined as poisoned")
+		retryBackoff  = flag.Duration("retry-backoff", time.Second, "base retry delay for crash-interrupted jobs (attempt n waits backoff*2^(n-1), capped at 64x)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,9 @@ func main() {
 		fatal(err)
 	}
 	if err := validate.Positive("-job-workers", *jobWorkers); err != nil {
+		fatal(err)
+	}
+	if err := validate.NonNegative("-search-workers", *searchWorkers); err != nil {
 		fatal(err)
 	}
 	if err := validate.Positive("-retained-jobs", *retained); err != nil {
@@ -100,6 +104,7 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		MaxRetainedJobs: *retained,
 		PipelineWorkers: *jobWorkers,
+		SearchWorkers:   *searchWorkers,
 		DataDir:         *dataDir,
 		RetryMax:        *retryMax,
 		RetryBackoff:    *retryBackoff,

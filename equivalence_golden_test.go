@@ -117,12 +117,33 @@ func TestCSRKernelsMatchSliceGolden(t *testing.T) {
 			if got := partitionHash(tdvCSR); got != want.tdv {
 				t.Errorf("tdv-via-CSR partition hash = %s, want %s", got, want.tdv)
 			}
-			orb, _, err := automorphism.OrbitPartition(g, nil)
+			// The parallel refinement pass must hit the same pin (these
+			// networks are under its size cutover, but the routing itself
+			// is part of the contract).
+			tdvPar, err := refine.TotalDegreePartitionWorkersCSRCtx(context.Background(), graph.NewCSR(g), 4)
 			if err != nil {
-				t.Fatalf("orbit: %v", err)
+				t.Fatalf("tdv workers: %v", err)
 			}
-			if got := partitionHash(orb); got != want.orb {
-				t.Errorf("orbit partition hash = %s, want %s", got, want.orb)
+			if got := partitionHash(tdvPar); got != want.tdv {
+				t.Errorf("tdv-workers partition hash = %s, want %s", got, want.tdv)
+			}
+			// The orbit search is pinned at worker counts 1 and 4: the
+			// parallel classifier promises byte-identical orbits AND a
+			// byte-identical generator sequence at every pool size.
+			var genHash string
+			for _, w := range []int{1, 4} {
+				orb, gens, err := automorphism.OrbitPartition(g, &automorphism.Options{Workers: w})
+				if err != nil {
+					t.Fatalf("orbit w=%d: %v", w, err)
+				}
+				if got := partitionHash(orb); got != want.orb {
+					t.Errorf("orbit w=%d partition hash = %s, want %s", w, got, want.orb)
+				}
+				if h := automorphism.GeneratorSetHash(gens); w == 1 {
+					genHash = h
+				} else if h != genHash {
+					t.Errorf("orbit w=%d generator hash = %s, want %s (w=1)", w, h, genHash)
+				}
 			}
 			for _, w := range []int{1, 4} {
 				bb, err := ksym.BackboneWorkersCtx(context.Background(), g, tdv, w)

@@ -1,0 +1,50 @@
+package automorphism
+
+import (
+	"fmt"
+	"testing"
+
+	"ksymmetry/internal/datasets"
+)
+
+// BenchmarkOrbitComputation is the downstream series BENCH_refine.json
+// tracks: full OrbitPartition on the calibrated paper networks,
+// sequential search. Dominated by individualized refinements, so it
+// moves whenever the refinement kernel does.
+func BenchmarkOrbitComputation(b *testing.B) {
+	nets := []struct {
+		name string
+		seed int64
+	}{{"Enron", datasets.DefaultSeed}, {"Hepth", datasets.DefaultSeed}, {"Net-trace", datasets.DefaultSeed}}
+	for _, net := range nets {
+		g := datasets.Networks()[net.name]
+		b.Run(net.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := OrbitPartition(g, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrbitsParallel measures the parallel IR search on the
+// heaviest paper network (Net-trace) across the worker series
+// BENCH_automorphism.json records. On a single-CPU host every series
+// point time-slices one core — what the numbers then demonstrate is
+// that the classifier adds no meaningful overhead; the speedup target
+// needs multi-core hardware (see the JSON's notes).
+func BenchmarkOrbitsParallel(b *testing.B) {
+	g := datasets.NetTrace(datasets.DefaultSeed)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := OrbitPartition(g, &Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

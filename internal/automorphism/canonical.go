@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ksymmetry/internal/graph"
+	"ksymmetry/internal/parallel"
 	"ksymmetry/internal/refine"
 )
 
@@ -36,6 +38,24 @@ func CanonicalForm(g *graph.Graph, maxLeaves int) (Perm, string, error) {
 // refinement, so the poll is amortized noise) and returns the context's
 // error as soon as it fires.
 func CanonicalFormCtx(ctx context.Context, g *graph.Graph, maxLeaves int) (Perm, string, error) {
+	return CanonicalFormWorkersCtx(ctx, g, maxLeaves, 1)
+}
+
+// CanonicalFormWorkers is CanonicalFormWorkersCtx without a context.
+func CanonicalFormWorkers(g *graph.Graph, maxLeaves, workers int) (Perm, string, error) {
+	return CanonicalFormWorkersCtx(context.Background(), g, maxLeaves, workers)
+}
+
+// CanonicalFormWorkersCtx fans the canonical search's root branches out
+// across a bounded worker pool: the invariant target cell of the root
+// refinement splits into one subtree per (twin-filtered) member, each
+// worker explores its subtrees with a private Refiner, and the winners
+// merge by (key, branch index). The leaf budget is one shared atomic
+// counter, so whether the search completes or errs with
+// ErrCanonicalBudget depends only on the total leaf count — the result
+// (perm, certificate, or error) is byte-identical at every worker
+// count.
+func CanonicalFormWorkersCtx(ctx context.Context, g *graph.Graph, maxLeaves, workers int) (Perm, string, error) {
 	if maxLeaves <= 0 {
 		maxLeaves = DefaultMaxLeaves
 	}
@@ -43,11 +63,60 @@ func CanonicalFormCtx(ctx context.Context, g *graph.Graph, maxLeaves int) (Perm,
 	if n == 0 {
 		return Perm{}, "0|0|", nil
 	}
-	c := &canonSearch{ctx: ctx, g: g, budget: maxLeaves}
-	if err := c.rec(make([]int, n)); err != nil {
+	var leaves atomic.Int64
+	root := &canonSearch{ctx: ctx, g: g, budget: int64(maxLeaves), leaves: &leaves}
+	colors, target, maxColor, err := root.refineStep(make([]int, n))
+	if err != nil {
 		return nil, "", err
 	}
-	return c.bestPerm, fmt.Sprintf("%d|%d|%s", n, g.M(), c.bestKey), nil
+	branches := branchCandidates(g, colors, target)
+	if w := parallel.Resolve(workers, len(branches)); w > 1 {
+		// One reusable search per worker; ForEach's claim counter maps
+		// branch i to whichever worker frees up first.
+		pool := make([]canonSearch, w)
+		for i := range pool {
+			pool[i] = canonSearch{g: g, budget: int64(maxLeaves), leaves: &leaves}
+		}
+		best := make([]canonSearch, len(branches))
+		err := parallel.ForEach(ctx, w, len(branches), func(pctx context.Context, wid, i int) error {
+			c := &pool[wid]
+			c.ctx = pctx
+			c.bestKey, c.bestPerm = "", nil
+			next := append([]int(nil), colors...)
+			next[branches[i]] = maxColor + 1
+			if err := c.rec(next); err != nil {
+				return err
+			}
+			best[i].bestKey, best[i].bestPerm = c.bestKey, c.bestPerm
+			return nil
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		// Merge rule: strictly smaller key wins, earliest branch on
+		// ties — the exact leaf the sequential depth-first order keeps.
+		win := 0
+		for i := 1; i < len(best); i++ {
+			if best[i].bestKey < best[win].bestKey {
+				win = i
+			}
+		}
+		return best[win].bestPerm, fmt.Sprintf("%d|%d|%s", n, g.M(), best[win].bestKey), nil
+	}
+	if target == -1 {
+		if err := root.leaf(colors); err != nil {
+			return nil, "", err
+		}
+	} else {
+		for _, v := range branches {
+			next := append([]int(nil), colors...)
+			next[v] = maxColor + 1
+			if err := root.rec(next); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	return root.bestPerm, fmt.Sprintf("%d|%d|%s", n, g.M(), root.bestKey), nil
 }
 
 // Certificate returns only the certificate string.
@@ -62,29 +131,37 @@ func CertificateCtx(ctx context.Context, g *graph.Graph, maxLeaves int) (string,
 	return cert, err
 }
 
+// CertificateWorkersCtx is CertificateCtx over a worker pool.
+func CertificateWorkersCtx(ctx context.Context, g *graph.Graph, maxLeaves, workers int) (string, error) {
+	_, cert, err := CanonicalFormWorkersCtx(ctx, g, maxLeaves, workers)
+	return cert, err
+}
+
 type canonSearch struct {
 	ctx      context.Context
 	g        *graph.Graph
-	ref      *refine.Refiner // reused across the whole search tree
-	budget   int
-	leaves   int
+	ref      *refine.Refiner // reused across the worker's whole subtree
+	budget   int64
+	leaves   *atomic.Int64 // shared across parallel branches
 	bestKey  string
 	bestPerm Perm
 }
 
-func (c *canonSearch) rec(init []int) error {
+// refineStep refines init to its equitable fixpoint and returns the
+// canonical colors, the invariant branch target (-1 when the coloring
+// is discrete), and the maximum color.
+func (c *canonSearch) refineStep(init []int) ([]int, int, int, error) {
 	if err := c.ctx.Err(); err != nil {
-		return err
+		return nil, 0, 0, err
 	}
 	if c.ref == nil {
 		c.ref = refine.NewRefiner(c.g)
 	}
 	c.ref.ResetColors(init)
 	if err := c.ref.RunCtx(c.ctx); err != nil {
-		return err
+		return nil, 0, 0, err
 	}
 	colors := c.ref.CanonicalColors(nil)
-	n := c.g.N()
 	// Count color multiplicities; find the smallest color with
 	// multiplicity ≥ 2 (an invariant choice, since refinement ids are
 	// canonical by content).
@@ -105,38 +182,61 @@ func (c *canonSearch) rec(init []int) error {
 			break
 		}
 	}
+	return colors, target, maxColor, nil
+}
+
+// leaf scores one discrete labeling against the worker's best.
+func (c *canonSearch) leaf(colors []int) error {
+	// The budget is a shared total across all parallel branches, so
+	// budget exhaustion depends only on how many leaves the whole tree
+	// has, not on which worker visits them.
+	if c.leaves.Add(1) > c.budget {
+		return ErrCanonicalBudget
+	}
+	perm := rankPerm(colors)
+	key := labeledAdjacencyKey(c.g, perm)
+	if c.bestKey == "" || key < c.bestKey {
+		c.bestKey = key
+		c.bestPerm = perm
+	}
+	return nil
+}
+
+// branchCandidates lists the target cell's members, skipping twins of
+// already-listed ones (mapping twin → twin yields the same leaf set).
+// Returns nil when target is -1.
+func branchCandidates(g *graph.Graph, colors []int, target int) []int {
 	if target == -1 {
-		// Discrete: one leaf labeling.
-		c.leaves++
-		if c.leaves > c.budget {
-			return ErrCanonicalBudget
-		}
-		perm := rankPerm(colors)
-		key := labeledAdjacencyKey(c.g, perm)
-		if c.bestKey == "" || key < c.bestKey {
-			c.bestKey = key
-			c.bestPerm = perm
-		}
 		return nil
 	}
-	// Branch over the target cell, skipping twins of already-branched
-	// members (mapping twin → twin yields the same leaf set).
 	var branched []int
-	for v := 0; v < n; v++ {
+	for v := 0; v < g.N(); v++ {
 		if colors[v] != target {
 			continue
 		}
 		twin := false
 		for _, u := range branched {
-			if sameNeighborhood(c.g, u, v) {
+			if sameNeighborhood(g, u, v) {
 				twin = true
 				break
 			}
 		}
-		if twin {
-			continue
+		if !twin {
+			branched = append(branched, v)
 		}
-		branched = append(branched, v)
+	}
+	return branched
+}
+
+func (c *canonSearch) rec(init []int) error {
+	colors, target, maxColor, err := c.refineStep(init)
+	if err != nil {
+		return err
+	}
+	if target == -1 {
+		return c.leaf(colors)
+	}
+	for _, v := range branchCandidates(c.g, colors, target) {
 		next := append([]int(nil), colors...)
 		next[v] = maxColor + 1
 		if err := c.rec(next); err != nil {

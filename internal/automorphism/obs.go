@@ -29,4 +29,17 @@ var (
 	// obsTwinPairs counts vertex pairs collapsed by the twin pre-pass,
 	// before any search ran.
 	obsTwinPairs = obs.Default.Scope("search").Counter("twin_pairs")
+	// obsWorkers is the worker count the last orbit classification
+	// resolved to (DESIGN.md §12).
+	obsWorkers = obs.Default.Scope("search").Gauge("workers")
+	// obsStolen counts work units claimed speculatively from a cell
+	// ahead of the commit frontier's cell.
+	obsStolen = obs.Default.Scope("search").Counter("units_stolen")
+	// obsPrunesShared counts units retired by the shared orbit
+	// union-find — at claim time or mid-search via the epoch-gated
+	// prune poll — instead of by their own completed search.
+	obsPrunesShared = obs.Default.Scope("search").Counter("prunes_shared")
+	// obsMergeWaits counts completed units whose results had to wait at
+	// the ordered-commit merge for an earlier in-flight unit.
+	obsMergeWaits = obs.Default.Scope("search").Counter("merge_waits")
 )

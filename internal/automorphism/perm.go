@@ -14,6 +14,8 @@
 package automorphism
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"ksymmetry/internal/graph"
@@ -21,6 +23,27 @@ import (
 
 // Perm is a permutation of {0..n-1}: p[i] is the image of i.
 type Perm []int
+
+// GeneratorSetHash returns a short hex digest of a generator sequence
+// — its length followed by every image in order. The search's
+// generator order is canonical (commit order, DESIGN.md §12), so the
+// hash is identical at every worker count; caches key on it to make a
+// determinism regression loud instead of silently poisoning rows.
+func GeneratorSetHash(gens []Perm) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(gens)))
+	h.Write(buf[:])
+	for _, p := range gens {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(p)))
+		h.Write(buf[:])
+		for _, v := range p {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
 
 // Identity returns the identity permutation on n points.
 func Identity(n int) Perm {

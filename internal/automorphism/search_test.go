@@ -3,6 +3,7 @@ package automorphism
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -336,7 +337,7 @@ func TestParallelOrbitPartitionMatchesSequential(t *testing.T) {
 		randomGraph(40, 0.1, 4),
 	}
 	for i, g := range graphs {
-		seq, _, err := OrbitPartition(g, nil)
+		seq, seqGens, err := OrbitPartition(g, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -346,6 +347,11 @@ func TestParallelOrbitPartitionMatchesSequential(t *testing.T) {
 		}
 		if !seq.Equal(par) {
 			t.Fatalf("graph %d: parallel orbits differ:\n%v\n%v", i, seq, par)
+		}
+		// Not merely valid: the generator sequence is byte-identical to
+		// the sequential one (the ordered-commit guarantee).
+		if !reflect.DeepEqual(seqGens, gens) {
+			t.Fatalf("graph %d: parallel generators differ from sequential:\n%v\n%v", i, seqGens, gens)
 		}
 		for _, gen := range gens {
 			if !IsAutomorphism(g, gen) {

@@ -17,6 +17,7 @@ import (
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/ksym"
 	"ksymmetry/internal/partition"
+	"ksymmetry/internal/refine"
 	"ksymmetry/internal/sampling"
 )
 
@@ -38,6 +39,13 @@ type (
 	// or SamplerExact).
 	Sampler = sampling.Sampler
 )
+
+// SearchOptions tunes the orbit search (automorphism.Options): the
+// per-pair NodeBudget, the BestEffort degradation switch, and the
+// Workers pool that fans the IR tree's work units out. Orbits and
+// generators are byte-identical at every Workers value (DESIGN.md
+// §12).
+type SearchOptions = automorphism.Options
 
 // Re-exported sampler selectors for SamplingOptions.Method.
 const (
@@ -158,4 +166,32 @@ func SampleExactCtx(ctx context.Context, gp *Graph, vp *Partition, n int, opts *
 // SampleApproximateCtx is SampleApproximate under a context.
 func SampleApproximateCtx(ctx context.Context, gp *Graph, vp *Partition, n int, opts *SamplingOptions) (*Graph, error) {
 	return sampling.ApproximateCtx(ctx, gp, vp, n, opts)
+}
+
+// CanonicalForm returns a canonical relabeling of g and the certificate
+// of its isomorphism class (equal certificates ⟺ isomorphic graphs).
+// maxLeaves ≤ 0 selects the default leaf budget.
+func CanonicalForm(g *Graph, maxLeaves int) (automorphism.Perm, string, error) {
+	return automorphism.CanonicalForm(g, maxLeaves)
+}
+
+// CanonicalFormWorkersCtx is CanonicalForm under a context and a
+// bounded worker pool; the result is byte-identical at every worker
+// count.
+func CanonicalFormWorkersCtx(ctx context.Context, g *Graph, maxLeaves, workers int) (automorphism.Perm, string, error) {
+	return automorphism.CanonicalFormWorkersCtx(ctx, g, maxLeaves, workers)
+}
+
+// CertificateWorkersCtx returns only the certificate string, searched
+// over a bounded worker pool.
+func CertificateWorkersCtx(ctx context.Context, g *Graph, maxLeaves, workers int) (string, error) {
+	return automorphism.CertificateWorkersCtx(ctx, g, maxLeaves, workers)
+}
+
+// TotalDegreePartitionWorkersCtx computes 𝒯𝒟𝒱(G) — the paper's §7
+// large-graph fallback partition — over a bounded worker pool on a
+// frozen CSR view. The partition is byte-identical at every worker
+// count; workers ≤ 0 means GOMAXPROCS.
+func TotalDegreePartitionWorkersCtx(ctx context.Context, g *Graph, workers int) (*Partition, error) {
+	return refine.TotalDegreePartitionWorkersCSRCtx(ctx, graph.NewCSR(g), workers)
 }

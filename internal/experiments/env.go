@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"ksymmetry/internal/automorphism"
 	"ksymmetry/internal/datasets"
 	"ksymmetry/internal/graph"
 	"ksymmetry/internal/partition"
@@ -43,6 +44,13 @@ type Env struct {
 	// random stream is derived from (Seed, index), never shared across
 	// concurrent work.
 	Workers int
+	// SearchWorkers sizes the orbit search's work-unit pool (pipeline
+	// Config.SearchWorkers; 0 falls back to Workers). Cached orbit rows
+	// are tagged with the canonical generator-set hash, which is
+	// worker-count-independent — OrbitGeneratorHash exposes it so a
+	// determinism regression across differently-sized pools fails loud
+	// instead of silently poisoning the cache.
+	SearchWorkers int
 
 	mu     sync.Mutex
 	graphs map[string]*graphEntry
@@ -58,14 +66,15 @@ type graphEntry struct {
 	err  error
 }
 
-// orbitEntry is the per-network orbit cache; mode is additionally
-// guarded by Env.mu so OrbitMode can be read while other networks are
-// still computing.
+// orbitEntry is the per-network orbit cache; mode and genHash are
+// additionally guarded by Env.mu so OrbitMode/OrbitGeneratorHash can
+// be read while other networks are still computing.
 type orbitEntry struct {
-	once sync.Once
-	p    *partition.Partition
-	mode pipeline.PartitionMode
-	err  error
+	once    sync.Once
+	p       *partition.Partition
+	mode    pipeline.PartitionMode
+	genHash string
+	err     error
 }
 
 // NewEnv returns an environment seeded for reproducible runs.
@@ -147,17 +156,34 @@ func (e *Env) Orbits(name string) (*partition.Partition, error) {
 			ctx, cancel = context.WithTimeout(ctx, e.OrbitTimeout)
 			defer cancel()
 		}
-		p, mode, _, err := pipeline.PartitionLadder(ctx, g, pipeline.Config{Workers: e.Workers})
+		res, err := pipeline.PartitionLadder(ctx, g,
+			pipeline.Config{Workers: e.Workers, SearchWorkers: e.SearchWorkers})
 		if err != nil {
 			ent.err = fmt.Errorf("experiments: orbit computation on %s: %w", name, err)
 			return
 		}
-		ent.p = p
+		ent.p = res.Partition
 		e.mu.Lock()
-		ent.mode = mode
+		ent.mode = res.PartitionMode
+		ent.genHash = automorphism.GeneratorSetHash(res.Generators)
 		e.mu.Unlock()
 	})
 	return ent.p, ent.err
+}
+
+// OrbitGeneratorHash reports the canonical generator-set hash of the
+// cached partition of the named network ("" before Orbits has run for
+// it; a 𝒯𝒟𝒱-rung row hashes the empty set). The hash — like the partition
+// itself — is byte-identical at every Workers/SearchWorkers value, so
+// two environments configured with different pools must agree on it;
+// the determinism suite asserts exactly that.
+func (e *Env) OrbitGeneratorHash(name string) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.orbits[name]; ok {
+		return ent.genHash
+	}
+	return ""
 }
 
 // graphAndOrbits fetches a network together with its partition — the

@@ -215,6 +215,40 @@ func TestBaselineAttackShape(t *testing.T) {
 	}
 }
 
+// TestEnvOrbitCacheWorkerIndependent: the orbit cache keys by network
+// name only, which is sound only because the cached partition — and
+// the canonical generator set behind it — is byte-identical at every
+// SearchWorkers value. Two environments configured with different
+// pools must produce equal partitions AND equal generator-set hashes;
+// a mismatch here means worker count leaked into a cached artifact.
+func TestEnvOrbitCacheWorkerIndependent(t *testing.T) {
+	seq := NewEnv(datasets.DefaultSeed)
+	seq.SearchWorkers = 1
+	par := NewEnv(datasets.DefaultSeed)
+	par.SearchWorkers = 4
+
+	for _, name := range []string{"Enron", "Hepth"} {
+		p1, err := seq.Orbits(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p4, err := par.Orbits(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p1.Equal(p4) {
+			t.Errorf("%s: partition differs between SearchWorkers=1 and 4", name)
+		}
+		h1, h4 := seq.OrbitGeneratorHash(name), par.OrbitGeneratorHash(name)
+		if h1 == "" || h4 == "" {
+			t.Fatalf("%s: missing generator hash after Orbits (%q, %q)", name, h1, h4)
+		}
+		if h1 != h4 {
+			t.Errorf("%s: generator hash %s (workers=1) != %s (workers=4)", name, h1, h4)
+		}
+	}
+}
+
 func TestEnvUnknownNetworkError(t *testing.T) {
 	if _, err := testEnv.Graph("nope"); err == nil {
 		t.Fatal("unknown network did not return an error")

@@ -14,15 +14,29 @@ import (
 
 // PartitionLadder runs only the partition stage of the pipeline: the
 // exact → budgeted → 𝒯𝒟𝒱 degradation ladder on g, under ctx, honoring
-// cfg's StartMode, budgets, and ExactShare (cfg's input/anonymization
-// fields are ignored). It returns the partition, the rung that produced
-// it, and the step-down log. Callers that want the whole flow should
-// use Run; this entry point exists for callers that manage their own
-// anonymization, like the experiment harness.
-func PartitionLadder(ctx context.Context, g *graph.Graph, cfg Config) (*partition.Partition, PartitionMode, []string, error) {
+// cfg's StartMode, budgets, ExactShare, and worker pool (cfg's
+// input/anonymization fields are ignored). The returned Result carries
+// the partition, the rung that produced it (PartitionMode), the
+// canonical generator set, and the step-down log. Callers that want
+// the whole flow should use Run; this entry point exists for callers
+// that manage their own anonymization, like the experiment harness.
+func PartitionLadder(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	r := &Result{Graph: g}
 	p, mode, err := r.ladder(ctx, cfg)
-	return p, mode, r.Downgrades, err
+	if err != nil {
+		return r, err
+	}
+	r.Partition, r.PartitionMode = p, mode
+	return r, nil
+}
+
+// searchWorkers resolves the pool handed to the partition stage:
+// SearchWorkers when set, otherwise Workers.
+func (c Config) searchWorkers() int {
+	if c.SearchWorkers != 0 {
+		return c.SearchWorkers
+	}
+	return c.Workers
 }
 
 // ladder runs the partition degradation ladder:
@@ -59,8 +73,8 @@ func (r *Result) ladder(ctx context.Context, cfg Config) (*partition.Partition, 
 		mode PartitionMode
 		opts *automorphism.Options
 	}{
-		{ModeExact, &automorphism.Options{NodeBudget: exactBudget, Workers: cfg.Workers}},
-		{ModeBudgeted, &automorphism.Options{NodeBudget: budgetedBudget, Workers: cfg.Workers, BestEffort: true}},
+		{ModeExact, &automorphism.Options{NodeBudget: exactBudget, Workers: cfg.searchWorkers()}},
+		{ModeBudgeted, &automorphism.Options{NodeBudget: budgetedBudget, Workers: cfg.searchWorkers(), BestEffort: true}},
 	}
 	start := 0
 	switch cfg.StartMode {
@@ -75,9 +89,10 @@ func (r *Result) ladder(ctx context.Context, cfg Config) (*partition.Partition, 
 
 	for _, rung := range rungs[start:] {
 		rctx, cancel := rungContext(ctx, share)
-		p, _, err := automorphism.OrbitPartitionCtx(rctx, g, rung.opts)
+		p, gens, err := automorphism.OrbitPartitionCtx(rctx, g, rung.opts)
 		cancel()
 		if err == nil {
+			r.Generators = gens
 			return p, rung.mode, nil
 		}
 		// A *cancelled* parent dooms every rung below too: abort with
@@ -108,8 +123,15 @@ func (r *Result) ladder(ctx context.Context, cfg Config) (*partition.Partition, 
 	}
 	// The rung runs on a frozen CSR view of g: refinement is read-only,
 	// and at the million-node tiers the flat rows are what keep this
-	// fallback near-linear in practice.
-	p, err := refine.TotalDegreePartitionCSRCtx(tctx, graph.NewCSR(g))
+	// fallback near-linear in practice. With a worker pool configured
+	// (>1, matching the search convention where 0 means sequential),
+	// the round-based parallel pass takes over — same bytes, less
+	// wall-clock on multi-core.
+	sw := cfg.searchWorkers()
+	if sw < 2 {
+		sw = 1
+	}
+	p, err := refine.TotalDegreePartitionWorkersCSRCtx(tctx, graph.NewCSR(g), sw)
 	if err != nil {
 		return nil, "", err
 	}

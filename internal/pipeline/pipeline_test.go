@@ -170,15 +170,18 @@ func TestConfigInputValidation(t *testing.T) {
 
 func TestPartitionLadderStandalone(t *testing.T) {
 	g := datasets.Fig3()
-	p, mode, downgrades, err := PartitionLadder(context.Background(), g, Config{})
+	res, err := PartitionLadder(context.Background(), g, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mode != ModeExact || len(downgrades) != 0 {
-		t.Fatalf("mode = %q downgrades = %v", mode, downgrades)
+	if res.PartitionMode != ModeExact || len(res.Downgrades) != 0 {
+		t.Fatalf("mode = %q downgrades = %v", res.PartitionMode, res.Downgrades)
 	}
-	if err := p.Validate(g.N()); err != nil {
+	if err := res.Partition.Validate(g.N()); err != nil {
 		t.Fatal(err)
+	}
+	if len(res.Generators) == 0 {
+		t.Fatal("exact rung returned no generators")
 	}
 }
 
@@ -280,5 +283,32 @@ func TestResultMetricsReportsDowngrade(t *testing.T) {
 	}
 	if res2.Metrics != nil {
 		t.Fatalf("observability off but Result.Metrics = %v", res2.Metrics)
+	}
+}
+
+// TestResultMetricsParallelSearch: a run with SearchWorkers > 1 must
+// surface the parallel-search counters (DESIGN.md §8 namespace table)
+// in Result.Metrics, and the search.workers gauge must reflect the
+// resolved pool size.
+func TestResultMetricsParallelSearch(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	// Cycle(50) is vertex-transitive: one 50-vertex root cell, 49 work
+	// units, so a requested pool of 4 resolves to 4.
+	res, err := Run(context.Background(), Config{Graph: datasets.Cycle(50), K: 2, SearchWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("observability on but Result.Metrics is nil")
+	}
+	for _, key := range []string{"search.workers", "search.units_stolen", "search.prunes_shared", "search.merge_waits"} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("Result.Metrics missing %q", key)
+		}
+	}
+	if got := res.Metrics["search.workers"]; got != 4 {
+		t.Fatalf("search.workers gauge = %d, want 4", got)
 	}
 }

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"context"
 	"testing"
 
 	"ksymmetry/internal/datasets"
@@ -55,6 +56,30 @@ func benchOrder(sizes []int) []string {
 		}
 	}
 	return names
+}
+
+// BenchmarkEquitableParallel measures the round-based parallel
+// refinement (DESIGN.md §12) against the sequential worklist kernel on
+// one large BA graph. workers-1 routes to the sequential kernel, so
+// the series doubles as an overhead check for the dispatch layer.
+func BenchmarkEquitableParallel(b *testing.B) {
+	n := 100000
+	if testing.Short() {
+		n = 10000
+	}
+	g := datasets.BarabasiAlbert(n, 3, 3, int64(n))
+	c := graph.NewCSR(g)
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 4} {
+		b.Run("BA-"+sizeTag(n)+"-workers-"+itoa(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TotalDegreePartitionWorkersCSRCtx(ctx, c, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEquitable measures full equitable refinement from the unit

@@ -20,4 +20,11 @@ var (
 	// on top of a restored state (the IR-tree depth this repo's search
 	// explores).
 	obsIndivDepth = obs.Default.Scope("refine").Gauge("indiv_depth_max")
+	// obsParRounds counts synchronous 1-WL rounds run by the parallel
+	// refinement pass (DESIGN.md §12).
+	obsParRounds = obs.Default.Scope("refine").Counter("parallel_rounds")
+	// obsParFallbacks counts parallel refinements whose exact
+	// verification pass rejected the hashed fixpoint (a signature
+	// collision) and re-ran the sequential kernel. Expected to stay 0.
+	obsParFallbacks = obs.Default.Scope("refine").Counter("parallel_fallbacks")
 )

@@ -131,11 +131,11 @@ func (j *Job) terminal() bool {
 // jobStatus is the JSON body of GET /v1/jobs/{id} (and of the submit
 // response).
 type jobStatus struct {
-	ID          string            `json:"id"`
-	State       JobState          `json:"state"`
-	SubmittedAt time.Time         `json:"submitted_at"`
-	StartedAt   *time.Time        `json:"started_at,omitempty"`
-	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
+	ID          string     `json:"id"`
+	State       JobState   `json:"state"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// Attempt is the run attempt count; >1 means earlier attempts died
 	// with the process and the journal retried the job.
 	Attempt   int    `json:"attempt,omitempty"`

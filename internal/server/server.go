@@ -68,6 +68,11 @@ type Config struct {
 	// PipelineWorkers is handed to each pipeline run (orbit search
 	// and publish-stage sampling pools). Default 1.
 	PipelineWorkers int
+	// SearchWorkers, when set, sizes the orbit search's work-unit pool
+	// independently of PipelineWorkers (pipeline Config.SearchWorkers).
+	// The search result is byte-identical at every value; 0 falls back
+	// to PipelineWorkers.
+	SearchWorkers int
 
 	// DataDir enables the durable job store (DESIGN.md §11): every job
 	// state transition is journaled there before it is acknowledged,
@@ -434,11 +439,12 @@ func (s *Server) runJob(job *Job) {
 		defer cancel()
 	}
 	res, err := s.runPipeline(ctx, pipeline.Config{
-		Graph:     job.req.graph,
-		K:         job.req.k,
-		Minimal:   job.req.minimal,
-		StartMode: job.req.startMode,
-		Workers:   s.cfg.PipelineWorkers,
+		Graph:         job.req.graph,
+		K:             job.req.k,
+		Minimal:       job.req.minimal,
+		StartMode:     job.req.startMode,
+		Workers:       s.cfg.PipelineWorkers,
+		SearchWorkers: s.cfg.SearchWorkers,
 	})
 	sum := pipeline.Summarize(res, err)
 	if err != nil {

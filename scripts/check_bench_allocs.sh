@@ -20,6 +20,8 @@ out=$(
     -benchtime 2x -benchmem -short ./internal/sampling/
   go test -run '^$' -bench 'BenchmarkCSRBuild$' \
     -benchtime 10x -benchmem -short ./internal/graph/
+  go test -run '^$' -bench 'BenchmarkOrbitsParallel/workers-(1|4)$' \
+    -benchtime 2x -benchmem -short ./internal/automorphism/
 )
 echo "$out"
 
@@ -29,6 +31,7 @@ import json, re, sys
 refine = json.load(open("BENCH_refine.json"))
 sampling = json.load(open("BENCH_sampling.json"))
 graphcore = json.load(open("BENCH_graph.json"))
+automorphism = json.load(open("BENCH_automorphism.json"))
 baselines = {
     "BenchmarkEquitable/BA-10k": refine["equitable_allocs_per_op"]["BA-10k"]["worklist"],
     "BenchmarkSamplingBatch/serial-loop": sampling["batch_allocs_per_op"]["serial-loop"],
@@ -37,6 +40,12 @@ baselines = {
     # (off array, adj array, struct header); any slice-append regression
     # in NewCSR shows up here as thousands of allocs/op.
     "BenchmarkCSRBuild": graphcore["csr_build_allocs_per_op"],
+    # The parallel search's zero-alloc discipline: per-worker scratch is
+    # cloned once and reused across units, so allocs/op at workers-4
+    # must stay within ~1% of the sequential search, not scale with the
+    # unit count.
+    "BenchmarkOrbitsParallel/workers-1": automorphism["orbits_allocs_per_op"]["workers-1"],
+    "BenchmarkOrbitsParallel/workers-4": automorphism["orbits_allocs_per_op"]["workers-4"],
 }
 
 # Benchmark lines carry a -GOMAXPROCS suffix unless it is 1; names like
