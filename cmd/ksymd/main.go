@@ -1,15 +1,17 @@
 // Command ksymd hosts the k-symmetry anonymization pipeline as a
-// hardened HTTP daemon: a bounded job queue with admission control
-// (429 + Retry-After under overload), per-request deadlines that ride
-// the partition degradation ladder, graceful drain on SIGTERM/SIGINT,
-// per-job panic isolation, and idempotency keys so client retries
-// never re-run a search.
+// hardened HTTP daemon: per-tenant fair-share admission control (429 +
+// per-tenant Retry-After under overload, deficit-round-robin dispatch
+// so one tenant cannot starve another), SSE status streaming,
+// per-request deadlines that ride the partition degradation ladder,
+// graceful drain on SIGTERM/SIGINT, per-job panic isolation, and
+// idempotency keys so client retries never re-run a search.
 //
 // Usage:
 //
 //	ksymd -addr :8080
-//	curl -s 'http://localhost:8080/v1/anonymize?k=5&timeout=10s' --data-binary @g.edges
+//	curl -s -H 'X-Tenant: acme' 'http://localhost:8080/v1/anonymize?k=5&timeout=10s' --data-binary @g.edges
 //	curl -s http://localhost:8080/v1/jobs/j000000
+//	curl -sN http://localhost:8080/v1/jobs/j000000/events
 //	curl -s http://localhost:8080/v1/jobs/j000000/result -o g_anon.release
 //
 // See DESIGN.md §9 for the serving architecture and README for a
@@ -49,6 +51,11 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable job store directory: journal every job transition, survive restarts (empty = in-memory only)")
 		retryMax      = flag.Int("retry-max", 3, "run attempts before a job whose runs keep dying with the process is quarantined as poisoned")
 		retryBackoff  = flag.Duration("retry-backoff", time.Second, "base retry delay for crash-interrupted jobs (attempt n waits backoff*2^(n-1), capped at 64x)")
+		tenantQueue   = flag.Int("tenant-queue-cap", 0, "per-tenant queued-job cap; a tenant at its cap gets 429 while others are still admitted (0 = follow -queue)")
+		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant sustained admission rate in jobs/second, token bucket (0 = unlimited)")
+		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = one second of -tenant-rate, minimum 1)")
+		sseHeartbeat  = flag.Duration("sse-heartbeat", 15*time.Second, "keepalive comment interval on /v1/jobs/{id}/events streams")
+		tombstoneCap  = flag.Int("tombstone-cap", 4096, "evicted-job tombstones kept in memory for 410 answers (oldest dropped first)")
 	)
 	flag.Parse()
 
@@ -80,6 +87,21 @@ func main() {
 	if *retryBackoff <= 0 {
 		fatal(fmt.Errorf("-retry-backoff must be > 0"))
 	}
+	if err := validate.NonNegative("-tenant-queue-cap", *tenantQueue); err != nil {
+		fatal(err)
+	}
+	if *tenantRate < 0 {
+		fatal(fmt.Errorf("-tenant-rate must be >= 0"))
+	}
+	if err := validate.NonNegative("-tenant-burst", *tenantBurst); err != nil {
+		fatal(err)
+	}
+	if *sseHeartbeat <= 0 {
+		fatal(fmt.Errorf("-sse-heartbeat must be > 0"))
+	}
+	if err := validate.Positive("-tombstone-cap", *tombstoneCap); err != nil {
+		fatal(err)
+	}
 	// Crash-point injection for the fault suite: inert unless
 	// KSYM_CRASH_POINT is set in the environment.
 	if err := faulttest.ArmCrashFromEnv(); err != nil {
@@ -105,6 +127,11 @@ func main() {
 		MaxRetainedJobs: *retained,
 		PipelineWorkers: *jobWorkers,
 		SearchWorkers:   *searchWorkers,
+		TenantQueueCap:  *tenantQueue,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
+		SSEHeartbeat:    *sseHeartbeat,
+		MaxTombstones:   *tombstoneCap,
 		DataDir:         *dataDir,
 		RetryMax:        *retryMax,
 		RetryBackoff:    *retryBackoff,

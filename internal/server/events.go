@@ -1,0 +1,116 @@
+package server
+
+import "time"
+
+// Recorded job state transitions and their SSE subscriptions
+// (DESIGN.md §13). Every lifecycle transition — queued, running (one
+// per attempt), and the terminal state — is appended to the job's
+// event log with a monotonically increasing sequence number. GET
+// /v1/jobs/{id}/events streams the log as text/event-stream: a
+// subscriber first replays the recorded transitions after its
+// Last-Event-ID (so a dropped connection resumes instead of starting
+// over, and a subscriber arriving after the fact still sees the whole
+// history), then receives live transitions until the terminal event
+// closes the stream.
+
+// jobEvent is one recorded state transition — the SSE "data:" payload.
+type jobEvent struct {
+	// Seq is the 1-based transition number within the job, used as the
+	// SSE event id for Last-Event-ID resume.
+	Seq   int64     `json:"seq"`
+	JobID string    `json:"job_id"`
+	State JobState  `json:"state"`
+	At    time.Time `json:"at"`
+	// Attempt is the run attempt the transition belongs to (0 for the
+	// initial queued event).
+	Attempt int `json:"attempt,omitempty"`
+	// Reason documents a quarantine or cancellation.
+	Reason string `json:"reason,omitempty"`
+	// ResultURL is set on the done event, so a subscriber needs no
+	// extra status request to fetch the artifact.
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// subBuffer sizes a subscriber channel. A job emits at most
+// 2 + attempts events; the buffer is comfortably past any realistic
+// retry budget, and the handler re-reads the recorded log if a send
+// was ever dropped, so a slow subscriber can lose liveness but never
+// an event.
+const subBuffer = 32
+
+// appendEventLocked records a transition at time at and fans it out to
+// the live subscribers. On a terminal transition the subscriber
+// channels are closed — the stream has nothing further to say.
+// Caller holds j.mu.
+func (j *Job) appendEventLocked(state JobState, at time.Time) {
+	ev := jobEvent{
+		Seq:     int64(len(j.events)) + 1,
+		JobID:   j.id,
+		State:   state,
+		At:      at,
+		Attempt: j.attempt,
+		Reason:  j.reason,
+	}
+	if state == JobDone {
+		ev.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	j.events = append(j.events, ev)
+	obsSSEEvents.Inc()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Subscriber buffer full: drop here, the handler recovers
+			// the tail from the recorded log when the channel closes.
+		}
+	}
+	if state.Terminal() {
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+}
+
+// subscribe returns the recorded transitions with Seq > afterSeq and,
+// for a job that has not yet reached a terminal state, a live channel
+// of subsequent transitions plus its unsubscribe function. For a
+// terminal job the channel is nil: the replay already ends with the
+// terminal event.
+func (j *Job) subscribe(afterSeq int64) (replay []jobEvent, ch chan jobEvent, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, ev := range j.events {
+		if ev.Seq > afterSeq {
+			replay = append(replay, ev)
+		}
+	}
+	if j.state.Terminal() {
+		return replay, nil, func() {}
+	}
+	ch = make(chan jobEvent, subBuffer)
+	if j.subs == nil {
+		j.subs = make(map[chan jobEvent]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// eventsAfter returns a copy of the recorded transitions with
+// Seq > afterSeq — the handler's recovery path when a subscriber
+// channel closed before the terminal event was delivered.
+func (j *Job) eventsAfter(afterSeq int64) []jobEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []jobEvent
+	for _, ev := range j.events {
+		if ev.Seq > afterSeq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

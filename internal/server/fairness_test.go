@@ -1,0 +1,206 @@
+// Fair-share admission suite (DESIGN.md §13), run with the fault suite
+// under -race -count=2: starvation resistance (a flooding tenant cannot
+// delay another tenant's dispatch past one scheduling round), the
+// per-tenant queue-depth and rate caps with their 429 + Retry-After
+// answers, tenant-scoped idempotency keys, and X-Tenant validation.
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+
+	"ksymmetry/internal/pipeline"
+)
+
+// TestFairShareDispatchUnderFlood is the starvation test: tenant A
+// floods five jobs, tenant B submits one, and deficit round robin must
+// dispatch B's job in the first scheduling round after the in-flight
+// job — not behind A's whole backlog, which is where the old single
+// FIFO queue put it. Tenants are told apart by k (A submits k=2, B
+// k=3), recorded in dispatch order through the pipeline seam.
+func TestFairShareDispatchUnderFlood(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 16})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var mu sync.Mutex
+	var dispatched []int
+	s.runPipeline = func(ctx context.Context, cfg pipeline.Config) (*pipeline.Result, error) {
+		mu.Lock()
+		dispatched = append(dispatched, cfg.K)
+		mu.Unlock()
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return &pipeline.Result{}, ctx.Err()
+		}
+		return pipeline.Run(ctx, cfg)
+	}
+	body := fig3Body(t)
+	hdrA := map[string]string{"X-Tenant": "flooder"}
+	hdrB := map[string]string{"X-Tenant": "quiet"}
+
+	// A's first job reaches the worker (so the queues below build up
+	// behind a busy pool with deterministic membership), then A floods
+	// four more and B submits one.
+	var ids []string
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+	if code != http.StatusAccepted {
+		t.Fatalf("flood submit 0 = %d", code)
+	}
+	ids = append(ids, st.ID)
+	<-started
+	for i := 1; i < 5; i++ {
+		code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+		if code != http.StatusAccepted {
+			t.Fatalf("flood submit %d = %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+	code, stB, _ := postJob(t, ts.URL+"/v1/anonymize?k=3", body, hdrB)
+	if code != http.StatusAccepted {
+		t.Fatalf("quiet submit = %d", code)
+	}
+	ids = append(ids, stB.ID)
+
+	close(release)
+	for _, id := range ids {
+		waitDone(t, s, id)
+	}
+	// In-flight A job first, then one A job (the round the flood
+	// started in), then B's — then the rest of the flood. A FIFO queue
+	// would have produced [2 2 2 2 2 3].
+	want := []int{2, 2, 3, 2, 2, 2}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dispatched) != len(want) {
+		t.Fatalf("dispatched %d jobs, want %d", len(dispatched), len(want))
+	}
+	for i, k := range want {
+		if dispatched[i] != k {
+			t.Fatalf("dispatch order = %v, want %v: the quiet tenant waited behind the flood", dispatched, want)
+		}
+	}
+}
+
+// TestPerTenantQueueCap429 pins the depth cap: a tenant at its own
+// queue cap gets 429 + Retry-After while another tenant is still
+// admitted — per-tenant shedding, not global.
+func TestPerTenantQueueCap429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 16, TenantQueueCap: 2})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.runPipeline = blockThenRun(release, started)
+	body := fig3Body(t)
+	hdrA := map[string]string{"X-Tenant": "greedy"}
+
+	// A's first job occupies the worker; two more fill A's queue cap.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		ids = append(ids, st.ID)
+		if i == 0 {
+			<-started
+		}
+	}
+	// A's fourth submission sheds with a Retry-After scaled by A's own
+	// backlog.
+	code, _, hdr := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit = %d, want 429", code)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", hdr.Get("Retry-After"))
+	}
+	// Another tenant is not affected by A's cap.
+	code, stB, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, map[string]string{"X-Tenant": "bystander"})
+	if code != http.StatusAccepted {
+		t.Fatalf("bystander submit = %d, want 202: the greedy tenant's cap leaked", code)
+	}
+	ids = append(ids, stB.ID)
+	close(release)
+	for _, id := range ids {
+		waitDone(t, s, id)
+	}
+}
+
+// TestTenantRateLimit429 pins the token bucket: at rate 1/s burst 1, a
+// tenant's second immediate submission sheds with Retry-After >= 1s
+// while a second tenant's bucket is untouched.
+func TestTenantRateLimit429(t *testing.T) {
+	s, ts := newTestServer(t, Config{TenantRate: 1, TenantBurst: 1})
+	body := fig3Body(t)
+	hdrA := map[string]string{"X-Tenant": "bursty"}
+
+	code, stA, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	code, _, hdr := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second submit = %d, want 429", code)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", hdr.Get("Retry-After"))
+	}
+	code, stB, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, map[string]string{"X-Tenant": "other"})
+	if code != http.StatusAccepted {
+		t.Fatalf("other tenant submit = %d, want 202: rate buckets are shared", code)
+	}
+	waitDone(t, s, stA.ID)
+	waitDone(t, s, stB.ID)
+}
+
+// TestIdempotencyKeysTenantScoped pins the key namespace: the same
+// Idempotency-Key from two tenants is two jobs, and a replay within a
+// tenant still returns the original.
+func TestIdempotencyKeysTenantScoped(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := fig3Body(t)
+	hdrA := map[string]string{"X-Tenant": "acme", "Idempotency-Key": "shared-key"}
+	hdrB := map[string]string{"X-Tenant": "globex", "Idempotency-Key": "shared-key"}
+
+	code, stA, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+	if code != http.StatusAccepted {
+		t.Fatalf("acme submit = %d", code)
+	}
+	code, stB, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrB)
+	if code != http.StatusAccepted {
+		t.Fatalf("globex submit = %d, want 202: key collided across tenants", code)
+	}
+	if stA.ID == stB.ID {
+		t.Fatal("two tenants sharing an idempotency key shared a job")
+	}
+	code, replay, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdrA)
+	if code != http.StatusOK || replay.ID != stA.ID {
+		t.Fatalf("acme replay = %d job %s, want 200 job %s", code, replay.ID, stA.ID)
+	}
+	if replay.Tenant != "acme" {
+		t.Fatalf("replayed job tenant = %q, want acme", replay.Tenant)
+	}
+	waitDone(t, s, stA.ID)
+	waitDone(t, s, stB.ID)
+}
+
+// TestInvalidTenantRejected pins X-Tenant validation: malformed ids are
+// a 400 at the parse boundary, before any admission state is touched.
+func TestInvalidTenantRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := fig3Body(t)
+	long := make([]byte, maxTenantLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, tenant := range []string{"has space", "semi;colon", string(long), "ünïcode"} {
+		code, _, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, map[string]string{"X-Tenant": tenant})
+		if code != http.StatusBadRequest {
+			t.Errorf("X-Tenant %q: code = %d, want 400", tenant, code)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"ksymmetry/internal/obs"
 )
@@ -17,8 +18,10 @@ import (
 //	GET  /metrics                 live obs snapshot as sorted JSON
 //	POST /v1/anonymize            submit a job (edge-list body; params
 //	                              k, timeout, minimal, mode; optional
-//	                              Idempotency-Key header)
+//	                              Idempotency-Key and X-Tenant headers)
 //	GET  /v1/jobs/{id}            job status + pipeline summary
+//	GET  /v1/jobs/{id}/events     state transitions as text/event-stream
+//	                              (Last-Event-ID resumes)
 //	GET  /v1/jobs/{id}/result     the release artifact (G′ + 𝒱′ + n)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -40,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/anonymize", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	return mux
 }
@@ -74,13 +78,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if idemKey == "" {
 		idemKey = r.URL.Query().Get("idempotency_key")
 	}
-	job, created, err := s.submit(req, idemKey)
+	job, created, retryAfter, err := s.submit(req, idemKey)
 	switch {
-	case errors.Is(err, errQueueFull):
-		// Admission control: shed the load and tell the client when a
-		// slot should free up, estimated from recent per-job wall time.
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter().Seconds())))
+	case errors.Is(err, errQueueFull), errors.Is(err, errTenantQueueFull), errors.Is(err, errTenantRate):
+		// Admission control: shed the load and tell the client when to
+		// come back — the tenant's own bucket/backlog for the per-tenant
+		// caps, the recent per-job wall time for the global backstop.
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, errIdemMismatch):
+		// The key names a job computed for different parameters: a
+		// client bug, not a replay. Returning the stored result would
+		// answer a request that was never made.
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
 		return
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
@@ -118,6 +129,109 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.status())
+}
+
+// handleEvents streams a job's state transitions as text/event-stream:
+// first the recorded transitions after the client's Last-Event-ID (so
+// a dropped connection resumes and a late subscriber still sees the
+// whole history), then live transitions until the terminal event, after
+// which the server closes the stream — a client needs no polling and no
+// reconnect loop to learn a job's fate. Comment-line heartbeats keep
+// idle proxies from timing the stream out during long runs.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		s.missingJob(w, r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported by this connection"})
+		return
+	}
+	var afterSeq int64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		n, err := strconv.ParseInt(lei, 10, 64)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("header Last-Event-ID: %q is not an event sequence number", lei)})
+			return
+		}
+		afterSeq = n
+	}
+	replay, ch, cancel := job.subscribe(afterSeq)
+	defer cancel()
+	obsSSESubscribers.Set(s.sseSubs.Add(1))
+	defer func() { obsSSESubscribers.Set(s.sseSubs.Add(-1)) }()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	// Tell nginx-style buffering proxies not to hold frames back.
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	last := afterSeq
+	for _, ev := range replay {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+		obsSSEReplayed.Inc()
+		last = ev.Seq
+	}
+	fl.Flush()
+	if ch == nil {
+		// Terminal job: the replay ended with the terminal event.
+		return
+	}
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// The channel closed before this subscriber drained the
+				// terminal event (or a send was dropped on a full
+				// buffer): recover the tail from the recorded log — the
+				// log, not the channel, is the source of truth.
+				for _, tail := range job.eventsAfter(last) {
+					if err := writeSSE(w, tail); err != nil {
+						return
+					}
+				}
+				fl.Flush()
+				return
+			}
+			if ev.Seq <= last {
+				continue
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			last = ev.Seq
+			fl.Flush()
+			if ev.State.Terminal() {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			obsSSEHeartbeats.Inc()
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one transition as an SSE frame. The event id is the
+// transition's sequence number, which is what Last-Event-ID resumes on.
+func writeSSE(w http.ResponseWriter, ev jobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: state\ndata: %s\n\n", ev.Seq, data)
+	return err
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -53,6 +56,15 @@ type jobRequest struct {
 	startMode pipeline.PartitionMode
 	timeout   time.Duration
 	graph     *graph.Graph
+	// tenant is the fair-share admission bucket the job charges
+	// (X-Tenant header; defaultTenant for anonymous callers).
+	tenant string
+	// fingerprint hashes the request's semantics (k, minimal, mode,
+	// timeout, canonical graph bytes) so an idempotency-key replay can
+	// prove it is asking for the same work — a reuse with different
+	// parameters is a client bug answered with 422, never with a
+	// result computed for something else.
+	fingerprint string
 }
 
 // Job is one queued/running/finished anonymization request.
@@ -73,9 +85,27 @@ type Job struct {
 	reason  string
 	summary *pipeline.Summary
 	release *publish.Release
+	// events records every state transition in order; subs fans new
+	// transitions out to live SSE subscribers (events.go).
+	events []jobEvent
+	subs   map[chan jobEvent]struct{}
 	// done closes when the job reaches a terminal state, so tests and
 	// drain logic can wait without polling.
 	done chan struct{}
+}
+
+// newJob constructs a queued job and records its first transition.
+func newJob(id, idemKey string, req jobRequest) *Job {
+	j := &Job{
+		id:        id,
+		idemKey:   idemKey,
+		req:       req,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	j.appendEventLocked(JobQueued, j.submitted)
+	return j
 }
 
 // State returns the job's current lifecycle state.
@@ -97,6 +127,7 @@ func (j *Job) setRunning() int {
 	j.started = time.Now()
 	j.attempt++
 	n := j.attempt
+	j.appendEventLocked(JobRunning, j.started)
 	j.mu.Unlock()
 	return n
 }
@@ -114,6 +145,7 @@ func (j *Job) finish(state JobState, sum *pipeline.Summary, rel *publish.Release
 	j.finished = time.Now()
 	j.summary = sum
 	j.release = rel
+	j.appendEventLocked(state, j.finished)
 	close(j.done)
 }
 
@@ -138,8 +170,13 @@ type jobStatus struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 	// Attempt is the run attempt count; >1 means earlier attempts died
 	// with the process and the journal retried the job.
-	Attempt   int    `json:"attempt,omitempty"`
+	Attempt int `json:"attempt,omitempty"`
+	// Tenant is the fair-share admission bucket the job belongs to.
+	Tenant    string `json:"tenant"`
 	StatusURL string `json:"status_url"`
+	// EventsURL streams the job's state transitions as
+	// text/event-stream, so clients subscribe instead of polling.
+	EventsURL string `json:"events_url"`
 	ResultURL string `json:"result_url,omitempty"`
 	// Reason documents a quarantine.
 	Reason  string            `json:"reason,omitempty"`
@@ -154,7 +191,9 @@ func (j *Job) status() jobStatus {
 		State:       j.state,
 		SubmittedAt: j.submitted,
 		Attempt:     j.attempt,
+		Tenant:      j.req.tenant,
 		StatusURL:   "/v1/jobs/" + j.id,
+		EventsURL:   "/v1/jobs/" + j.id + "/events",
 		Reason:      j.reason,
 		Summary:     j.summary,
 	}
@@ -185,14 +224,27 @@ func parseRequest(r *http.Request, maxTimeout time.Duration, maxBody int64) (job
 	if kStr == "" {
 		return req, fmt.Errorf("missing required parameter k")
 	}
-	var k int
-	if _, err := fmt.Sscanf(kStr, "%d", &k); err != nil {
+	// strconv.Atoi, not Sscanf("%d"): Sscanf stops at the first
+	// non-digit and silently accepts trailing garbage ("12junk" → 12),
+	// the same bug family graph.Read's 3-column misparse came from.
+	// Atoi consumes the whole string or fails.
+	k, err := strconv.Atoi(kStr)
+	if err != nil {
 		return req, fmt.Errorf("parameter k: %q is not an integer", kStr)
 	}
 	if err := validate.K(k); err != nil {
 		return req, err
 	}
 	req.k = k
+
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	if !validTenant(tenant) {
+		return req, fmt.Errorf("header X-Tenant: %q is not a tenant id (1-%d chars of [A-Za-z0-9._-])", tenant, maxTenantLen)
+	}
+	req.tenant = tenant
 
 	var timeout time.Duration
 	if t := q.Get("timeout"); t != "" {
@@ -236,5 +288,20 @@ func parseRequest(r *http.Request, maxTimeout time.Duration, maxBody int64) (job
 		return req, fmt.Errorf("body: %v", err)
 	}
 	req.graph = g
+	req.fingerprint = fingerprint(req)
 	return req, nil
+}
+
+// fingerprint hashes what a job computes: the parameters and the
+// canonical edge-list bytes of the parsed graph (so whitespace-only
+// body differences do not change it). Two requests with equal
+// fingerprints are the same work; an idempotency-key reuse across
+// different fingerprints is rejected (422).
+func fingerprint(req jobRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "k=%d;minimal=%t;mode=%s;timeout=%d;", req.k, req.minimal, req.startMode, req.timeout)
+	// Write renders vertices and sorted neighbor lists
+	// deterministically; an error is impossible on a hash.
+	_ = req.graph.Write(h)
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }

@@ -56,4 +56,35 @@ var (
 	// obsTombstones tracks evicted-job tombstones retained so GET can
 	// answer 410 instead of 404.
 	obsTombstones = serverScope.Gauge("tombstones")
+	// obsTombsEvicted counts tombstones dropped by the MaxTombstones
+	// bound (their ids degrade from 410 to 404 until compaction).
+	obsTombsEvicted = serverScope.Counter("tombstones_evicted")
+
+	// Fair-share admission (DESIGN.md §13).
+	//
+	// obsTenantRejectedRate counts 429s from a tenant's token bucket;
+	// obsTenantRejectedDepth counts 429s from a tenant's queue-depth
+	// cap. Both shed the flooding tenant's load while obsRejectedFull
+	// stays the global backstop.
+	obsTenantRejectedRate  = serverScope.Counter("tenant_rejected_rate")
+	obsTenantRejectedDepth = serverScope.Counter("tenant_rejected_depth")
+	// obsTenantsActive tracks tenants with queued jobs (the scheduling
+	// ring); obsTenantsTracked tracks all tenant states held in memory,
+	// including idle ones awaiting the amortized sweep.
+	obsTenantsActive  = serverScope.Gauge("tenant_active")
+	obsTenantsTracked = serverScope.Gauge("tenant_tracked")
+	// obsIdemMismatch counts 422s from an idempotency key reused with
+	// different request parameters.
+	obsIdemMismatch = serverScope.Counter("idempotent_mismatches")
+
+	// SSE status streaming (/v1/jobs/{id}/events).
+	//
+	// obsSSESubscribers tracks live event streams; obsSSEEvents counts
+	// recorded state transitions; obsSSEReplayed counts transitions
+	// served from the recorded log (catch-up and Last-Event-ID resume);
+	// obsSSEHeartbeats counts keepalive comments written.
+	obsSSESubscribers = serverScope.Gauge("sse_subscribers")
+	obsSSEEvents      = serverScope.Counter("sse_events")
+	obsSSEReplayed    = serverScope.Counter("sse_replayed")
+	obsSSEHeartbeats  = serverScope.Counter("sse_heartbeats")
 )

@@ -1,11 +1,18 @@
 // Package server hosts the anonymization pipeline as a long-lived HTTP
 // daemon (cmd/ksymd) with production-grade failure handling:
 //
-//   - Admission control: a bounded job queue. At capacity a new
-//     submission is rejected with 429 and a Retry-After computed from
-//     the queue's recent per-job wall time, so overload sheds load
+//   - Admission control: per-tenant fair-share admission (DESIGN.md
+//     §13) in front of a bounded global queue. Every job belongs to a
+//     tenant (X-Tenant header); admission enforces a per-tenant
+//     token-bucket rate cap and queue-depth cap (429 with a
+//     per-tenant Retry-After) before the global capacity backstop, and
+//     dispatch is deficit round robin across per-tenant queues, so a
+//     flooding tenant delays only itself — overload sheds load
 //     instead of growing the heap until the OOM killer ends the
-//     process.
+//     process, and it sheds the *flooder's* load first.
+//   - Status streaming: GET /v1/jobs/{id}/events serves the job's
+//     recorded state transitions as text/event-stream with
+//     Last-Event-ID resume, so clients subscribe instead of polling.
 //   - Per-request deadlines: the client's timeout parameter, clamped by
 //     the server maximum, becomes the pipeline context's deadline — the
 //     partition ladder degrades exact → budgeted → 𝒯𝒟𝒱 exactly as in
@@ -74,6 +81,27 @@ type Config struct {
 	// to PipelineWorkers.
 	SearchWorkers int
 
+	// TenantQueueCap bounds each tenant's queued jobs; at its cap that
+	// tenant's submissions get 429 while other tenants keep being
+	// admitted. Default QueueCapacity (a lone tenant can still use the
+	// whole queue).
+	TenantQueueCap int
+	// TenantRate is the per-tenant sustained admission rate in
+	// jobs/second (token bucket, burst TenantBurst). 0 disables the
+	// rate cap.
+	TenantRate float64
+	// TenantBurst is the per-tenant token-bucket burst. Default: one
+	// second of TenantRate, minimum 1.
+	TenantBurst int
+	// SSEHeartbeat is the comment-line keepalive interval on
+	// /v1/jobs/{id}/events streams. Default 15s.
+	SSEHeartbeat time.Duration
+	// MaxTombstones bounds the in-memory index of evicted jobs'
+	// terminal states (the 410 answers); the oldest tombstones are
+	// dropped first. Journal-persisted tombs remain the durable record
+	// until a compaction rewrites them. Default 4096.
+	MaxTombstones int
+
 	// DataDir enables the durable job store (DESIGN.md §11): every job
 	// state transition is journaled there before it is acknowledged,
 	// queued and finished jobs survive restart, and idempotency keys
@@ -118,6 +146,21 @@ func (c Config) withDefaults() Config {
 	if c.PipelineWorkers <= 0 {
 		c.PipelineWorkers = 1
 	}
+	if c.TenantQueueCap <= 0 {
+		c.TenantQueueCap = c.QueueCapacity
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = int(c.TenantRate)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
+	}
+	if c.MaxTombstones <= 0 {
+		c.MaxTombstones = 4096
+	}
 	if c.RetryMax <= 0 {
 		c.RetryMax = 3
 	}
@@ -160,15 +203,33 @@ type Server struct {
 	// recovery is what the journal replay found, frozen at New.
 	recovery RecoveryStats
 
-	mu       sync.Mutex
-	queue    chan *Job
-	closed   bool // queue closed; no further sends allowed
-	jobs     map[string]*Job
-	order    []string // insertion order, for bounded retention
-	idem     map[string]*Job
-	tombs    map[string]JobState // evicted jobs' terminal states
-	nextID   uint64
-	inflight int // jobs admitted but not yet finished
+	// sseSubs counts live /events subscribers across all jobs.
+	sseSubs atomic.Int64
+
+	mu sync.Mutex
+	// cond signals workers when a job is queued or the server closes;
+	// its Locker is mu.
+	cond   *sync.Cond
+	closed bool // admission closed; no further enqueues allowed
+	// tenants / ring / ringIdx / queuedTotal are the fair-share
+	// dispatcher (tenant.go): per-tenant FIFO queues drained under
+	// deficit round robin across the active-tenant ring.
+	tenants     map[string]*tenantState
+	ring        []*tenantState
+	ringIdx     int
+	queuedTotal int
+	submits     int // admission counter, paces the tenant-map sweep
+	jobs        map[string]*Job
+	order       []string // insertion order, for bounded retention
+	// idem maps tenant-scoped idempotency keys (tenant + NUL + key) to
+	// jobs: the same key from two tenants is two jobs.
+	idem map[string]*Job
+	// tombs / tombOrder index evicted jobs' terminal states, bounded
+	// by MaxTombstones with oldest-first eviction.
+	tombs     map[string]JobState
+	tombOrder []string
+	nextID    uint64
+	inflight  int // jobs admitted but not yet finished
 	// recent is a ring of the last finished jobs' wall times, feeding
 	// the Retry-After estimate. The wall times come from the same
 	// per-stage clocks the obs stage timers record.
@@ -197,11 +258,12 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:     ctx,
 		cancelJobs:  cancel,
 		closing:     make(chan struct{}),
-		queue:       make(chan *Job, cfg.QueueCapacity),
+		tenants:     make(map[string]*tenantState),
 		jobs:        make(map[string]*Job),
 		idem:        make(map[string]*Job),
 		tombs:       make(map[string]JobState),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if cfg.DataDir != "" {
 		st, rs, info, err := openStore(cfg.DataDir, cfg.CompactMinRecords)
 		if err != nil {
@@ -226,80 +288,115 @@ func New(cfg Config) (*Server, error) {
 // Draining reports whether admission has stopped (readiness is 503).
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// errQueueFull is the admission-control rejection; the HTTP layer maps
-// it to 429 + Retry-After.
+// errQueueFull is the global admission-control rejection; the HTTP
+// layer maps it to 429 + Retry-After.
 var errQueueFull = errors.New("server: job queue at capacity")
+
+// errTenantQueueFull is the per-tenant queue-depth rejection (429):
+// this tenant's backlog is at its cap while other tenants keep being
+// admitted.
+var errTenantQueueFull = errors.New("server: tenant queue at capacity")
+
+// errTenantRate is the per-tenant token-bucket rejection (429): the
+// tenant exceeded its sustained admission rate.
+var errTenantRate = errors.New("server: tenant rate limit exceeded")
+
+// errIdemMismatch is the idempotency-key misuse rejection (422): the
+// key maps to a job whose request fingerprint differs — replaying the
+// stored result would answer parameters the client did not send.
+var errIdemMismatch = errors.New("server: idempotency key reused with different request parameters")
 
 // errDraining is the drain rejection; the HTTP layer maps it to 503.
 var errDraining = errors.New("server: draining, not accepting jobs")
 
+// idemScopedKey namespaces an idempotency key by tenant, so two
+// tenants choosing the same key never share a job.
+func idemScopedKey(tenant, key string) string { return tenant + "\x00" + key }
+
 // submit admits a job (or returns the existing one for a repeated
-// idempotency key). It never blocks: a full queue fails fast with
-// errQueueFull so the client can back off.
-func (s *Server) submit(req jobRequest, idemKey string) (*Job, bool, error) {
+// idempotency key). It never blocks: a full queue fails fast so the
+// client can back off. The returned duration is the Retry-After hint
+// for the 429-family errors (errQueueFull, errTenantQueueFull,
+// errTenantRate).
+func (s *Server) submit(req jobRequest, idemKey string) (*Job, bool, time.Duration, error) {
 	if s.draining.Load() {
 		obsRejectedDraining.Inc()
-		return nil, false, errDraining
+		return nil, false, 0, errDraining
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if idemKey != "" {
-		if j, ok := s.idem[idemKey]; ok {
+		if j, ok := s.idem[idemScopedKey(req.tenant, idemKey)]; ok {
+			// A replay must be asking for the same work. Fingerprints
+			// are compared only when both sides have one, so jobs
+			// restored from pre-fingerprint journals keep replaying.
+			if j.req.fingerprint != "" && req.fingerprint != "" && j.req.fingerprint != req.fingerprint {
+				obsIdemMismatch.Inc()
+				return nil, false, 0, errIdemMismatch
+			}
 			obsIdemHits.Inc()
-			return j, false, nil
+			return j, false, 0, nil
 		}
 	}
-	// Checked again under the lock: Shutdown closes the queue under
-	// the same lock, so a send can never race the close.
+	// Checked again under the lock: Shutdown closes admission under
+	// the same lock, so an enqueue can never race the close.
 	if s.closed {
 		obsRejectedDraining.Inc()
-		return nil, false, errDraining
+		return nil, false, 0, errDraining
 	}
-	// Admission check before any disk write: a shed job must cost the
-	// journal nothing. Senders all hold s.mu and workers only drain,
-	// so a free slot observed here cannot vanish before the send.
-	if len(s.queue) == cap(s.queue) {
+	// Admission checks before any disk write: a shed job must cost the
+	// journal nothing. Per-tenant caps come first — isolation is the
+	// point — then the global capacity backstop. All checks and the
+	// enqueue happen under one hold of s.mu, so an observed free slot
+	// cannot vanish.
+	now := time.Now()
+	s.sweepTenantsLocked(now)
+	t := s.tenantLocked(req.tenant)
+	if ra, ok := t.rateAllow(now, s.cfg.TenantRate, s.cfg.TenantBurst); !ok {
+		obsTenantRejectedRate.Inc()
+		return nil, false, ra, errTenantRate
+	}
+	if len(t.queue) >= s.cfg.TenantQueueCap {
+		t.rateRefund(s.cfg.TenantRate)
+		obsTenantRejectedDepth.Inc()
+		return nil, false, s.retryAfterLocked(len(t.queue)), errTenantQueueFull
+	}
+	if s.queuedTotal >= s.cfg.QueueCapacity {
+		t.rateRefund(s.cfg.TenantRate)
 		obsRejectedFull.Inc()
-		return nil, false, errQueueFull
+		return nil, false, s.retryAfterLocked(s.inflight), errQueueFull
 	}
 	id := fmt.Sprintf("j%06d", s.nextID)
-	job := &Job{
-		id:        id,
-		idemKey:   idemKey,
-		req:       req,
-		state:     JobQueued,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
-	}
+	job := newJob(id, idemKey, req)
 	if s.store != nil {
 		// Durability before acknowledgment: the request graph is
 		// spooled and the accepted record fsynced before the job can
 		// reach a worker or the client. A journal failure refuses the
 		// job — unjournaled work would silently lose the restart
-		// guarantee the caller is relying on.
+		// guarantee the caller is relying on — and refunds the rate
+		// token: a 5xx the server caused must not charge the tenant.
 		if err := req.graph.WriteFile(s.store.spoolPath(id)); err != nil {
-			return nil, false, fmt.Errorf("server: spool request: %w", err)
+			t.rateRefund(s.cfg.TenantRate)
+			return nil, false, 0, fmt.Errorf("server: spool request: %w", err)
 		}
 		if err := s.store.append(acceptedRecord(job)); err != nil {
 			os.Remove(s.store.spoolPath(id))
-			return nil, false, err
+			t.rateRefund(s.cfg.TenantRate)
+			return nil, false, 0, err
 		}
 	}
-	// Cannot block: every sender holds s.mu and the slot check above
-	// saw room; workers only ever free slots.
-	s.queue <- job
+	s.pushLocked(job)
 	s.nextID++
 	s.inflight++
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	if idemKey != "" {
-		s.idem[idemKey] = job
+		s.idem[idemScopedKey(req.tenant, idemKey)] = job
 	}
 	s.evictLocked()
 	s.maybeCompactLocked()
 	obsSubmitted.Inc()
-	obsQueueDepth.Set(int64(len(s.queue)))
-	return job, true, nil
+	return job, true, 0, nil
 }
 
 // job looks up a retained job by id.
@@ -325,15 +422,14 @@ func (s *Server) evictLocked() {
 		if excess > 0 && j.terminal() {
 			delete(s.jobs, id)
 			if j.idemKey != "" {
-				delete(s.idem, j.idemKey)
+				delete(s.idem, idemScopedKey(j.req.tenant, j.idemKey))
 			}
 			// The terminal state outlives the eviction as a tombstone,
 			// so GET /v1/jobs/{id} can distinguish "evicted after
 			// finishing as X" (410) from "never existed" (404). The
 			// journal still holds the full terminal record until a
 			// compaction reduces it to a tomb.
-			s.tombs[id] = j.State()
-			obsTombstones.Set(int64(len(s.tombs)))
+			s.addTombLocked(id, j.State())
 			if s.store != nil {
 				os.Remove(s.store.spoolPath(id))
 				os.Remove(s.store.resultPath(id))
@@ -346,13 +442,42 @@ func (s *Server) evictLocked() {
 	s.order = kept
 }
 
-// retryAfter estimates how long until a queue slot frees up: the mean
-// recent per-job wall time, scaled by the work ahead of a hypothetical
-// new job, divided across the worker pool. Rounded up to whole seconds
-// (the Retry-After header's granularity), minimum 1s.
+// addTombLocked records an evicted job's terminal state, bounded by
+// MaxTombstones with oldest-first eviction — on a long-running daemon
+// every eviction used to add an entry that nothing ever removed in
+// memory-only mode, an unbounded leak. An evicted tombstone degrades
+// that id's answer from 410 to 404; the journal-persisted tombs remain
+// the durable record until compaction. Caller holds s.mu.
+func (s *Server) addTombLocked(id string, state JobState) {
+	if _, ok := s.tombs[id]; !ok {
+		s.tombOrder = append(s.tombOrder, id)
+	}
+	s.tombs[id] = state
+	for len(s.tombOrder) > s.cfg.MaxTombstones {
+		delete(s.tombs, s.tombOrder[0])
+		copy(s.tombOrder, s.tombOrder[1:])
+		s.tombOrder = s.tombOrder[:len(s.tombOrder)-1]
+		obsTombsEvicted.Inc()
+	}
+	obsTombstones.Set(int64(len(s.tombs)))
+}
+
+// retryAfter estimates how long until a queue slot frees up for a
+// tenant-agnostic caller (the global-capacity 429 path).
 func (s *Server) retryAfter() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.retryAfterLocked(s.inflight)
+}
+
+// retryAfterLocked estimates how long until a slot frees up: the mean
+// recent per-job wall time, scaled by the number of jobs ahead of a
+// hypothetical new one, divided across the worker pool. For per-tenant
+// rejections `ahead` is that tenant's backlog alone — under fair-share
+// dispatch a tenant waits behind its own queue, not the flooder's.
+// Rounded up to whole seconds (the Retry-After header's granularity),
+// minimum 1s. Caller holds s.mu.
+func (s *Server) retryAfterLocked(ahead int) time.Duration {
 	n := s.recentN
 	if n > recentWindow {
 		n = recentWindow
@@ -365,7 +490,6 @@ func (s *Server) retryAfter() time.Duration {
 		sum += d
 	}
 	perJob := sum / time.Duration(n)
-	ahead := s.inflight // queued + running jobs a newcomer waits behind
 	est := perJob * time.Duration(ahead) / time.Duration(s.cfg.Workers)
 	if est < time.Second {
 		return time.Second
@@ -381,17 +505,29 @@ func (s *Server) noteFinished(d time.Duration) {
 	s.recent[s.recentN%recentWindow] = d
 	s.recentN++
 	s.inflight--
-	obsQueueDepth.Set(int64(len(s.queue)))
 	s.maybeCompactLocked()
 	s.mu.Unlock()
 	obsJobWall.Observe(d)
 }
 
-// worker pulls jobs until the queue is closed and drained.
+// worker pulls jobs from the fair-share dispatcher until admission is
+// closed and every tenant queue has drained.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	s.mu.Lock()
+	for {
+		job := s.popLocked()
+		if job == nil {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		s.mu.Unlock()
 		s.runJob(job)
+		s.mu.Lock()
 	}
 }
 
@@ -515,9 +651,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
-		// Wake retry goroutines parked on backoff timers; their jobs
-		// stay pending in the journal for the next start.
+		// Wake every worker parked on the dispatcher — they drain the
+		// remaining tenant queues, then exit — and the retry
+		// goroutines parked on backoff timers; their jobs stay pending
+		// in the journal for the next start.
+		s.cond.Broadcast()
 		close(s.closing)
 	}
 	s.mu.Unlock()

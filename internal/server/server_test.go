@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -248,6 +249,103 @@ func TestRetentionEviction(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("never-existed job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestParseKStrict pins the k parser to whole-string integers. The old
+// fmt.Sscanf("%d") stopped at the first non-digit, so "12junk" parsed
+// as 12 and trailing garbage was silently accepted — this test fails
+// against that parser.
+func TestParseKStrict(t *testing.T) {
+	body := fig3Body(t)
+	parse := func(kVal string) error {
+		r := httptest.NewRequest(http.MethodPost,
+			"/v1/anonymize?k="+url.QueryEscape(kVal), strings.NewReader(body))
+		_, err := parseRequest(r, time.Minute, 1<<20)
+		return err
+	}
+	for _, bad := range []string{"12junk", "12 ", " 12", "1 2", "12.5", "1e2", "0x10", "12\n", "٣"} {
+		if parse(bad) == nil {
+			t.Errorf("k=%q accepted, want reject", bad)
+		}
+	}
+	for _, good := range []string{"2", "12", "+12"} {
+		if err := parse(good); err != nil {
+			t.Errorf("k=%q rejected: %v", good, err)
+		}
+	}
+}
+
+// TestIdempotencyFingerprintMismatch pins the replay guard: reusing a
+// key with different request parameters is a 422, never the stored
+// result of the original request. The pre-fix server returned the
+// original job for any reuse of the key.
+func TestIdempotencyFingerprintMismatch(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := fig3Body(t)
+	hdr := map[string]string{"Idempotency-Key": "one-key"}
+
+	code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	// Same key, different k: the stored job computed something else.
+	code, _, _ = postJob(t, ts.URL+"/v1/anonymize?k=3", body, hdr)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("mismatched replay = %d, want 422", code)
+	}
+	// Same key, different graph: also a mismatch.
+	code, _, _ = postJob(t, ts.URL+"/v1/anonymize?k=2", "2 1\n0 1\n", hdr)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("mismatched-body replay = %d, want 422", code)
+	}
+	// A faithful replay still answers 200 with the original job.
+	code, replay, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", body, hdr)
+	if code != http.StatusOK || replay.ID != st.ID {
+		t.Fatalf("faithful replay = %d job %s, want 200 job %s", code, replay.ID, st.ID)
+	}
+	waitDone(t, s, st.ID)
+}
+
+// TestTombstoneCapBounded pins the in-memory tombstone bound: the index
+// never exceeds MaxTombstones (pre-fix it grew by one per eviction,
+// forever), the oldest tombstone degrades to 404, the newest still
+// answers 410.
+func TestTombstoneCapBounded(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxRetainedJobs: 1, MaxTombstones: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		code, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		waitDone(t, s, st.ID)
+		ids = append(ids, st.ID)
+	}
+	s.mu.Lock()
+	tombCount, orderCount := len(s.tombs), len(s.tombOrder)
+	var newestTomb string
+	if orderCount > 0 {
+		newestTomb = s.tombOrder[orderCount-1]
+	}
+	s.mu.Unlock()
+	if tombCount > 2 || tombCount != orderCount {
+		t.Fatalf("tombs = %d (order %d), want bounded at 2 and consistent", tombCount, orderCount)
+	}
+	get := func(id string) int {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(ids[0]); code != http.StatusNotFound {
+		t.Errorf("oldest evicted job = %d, want 404 after its tombstone aged out", code)
+	}
+	if code := get(newestTomb); code != http.StatusGone {
+		t.Errorf("newest tombstone = %d, want 410", code)
 	}
 }
 

@@ -1,0 +1,184 @@
+// SSE status-streaming suite for GET /v1/jobs/{id}/events: a live
+// stream carries queued → running → terminal in order with heartbeats
+// and then closes; Last-Event-ID resumes skip already-seen transitions;
+// a malformed resume id is a 400.
+package server
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed "id/event/data" frame (comments collected
+// separately).
+type sseFrame struct {
+	id    string
+	event string
+	data  string
+}
+
+// readSSE consumes a whole event stream (the server closes it after
+// the terminal event) into frames + the count of comment lines.
+func readSSE(t *testing.T, r io.Reader) ([]sseFrame, int) {
+	t.Helper()
+	var frames []sseFrame
+	var comments int
+	var cur sseFrame
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur != (sseFrame{}) {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, ":"):
+			comments++
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading event stream: %v", err)
+	}
+	return frames, comments
+}
+
+// TestSSEStreamsTransitions subscribes while the job is running and
+// must see the recorded queued + running transitions replayed, at
+// least one heartbeat while the job is parked, then the live done
+// event — after which the server ends the stream without the client
+// polling anything.
+func TestSSEStreamsTransitions(t *testing.T) {
+	s, ts := newTestServer(t, Config{SSEHeartbeat: 20 * time.Millisecond})
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.runPipeline = blockThenRun(release, started)
+
+	_, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	<-started
+
+	resp, err := http.Get(ts.URL + st.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	// Park long enough for heartbeats to fire, then let the job finish;
+	// the read below runs to EOF because the server closes the stream
+	// after the terminal event.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(release)
+	}()
+	frames, comments := readSSE(t, resp.Body)
+	waitDone(t, s, st.ID)
+
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3 (queued, running, done): %+v", len(frames), frames)
+	}
+	for i, want := range []struct{ id, state string }{
+		{"1", string(JobQueued)}, {"2", string(JobRunning)}, {"3", string(JobDone)},
+	} {
+		if frames[i].id != want.id || frames[i].event != "state" {
+			t.Errorf("frame %d: id %q event %q, want id %q event state", i, frames[i].id, frames[i].event, want.id)
+		}
+		if !strings.Contains(frames[i].data, `"state":"`+want.state+`"`) {
+			t.Errorf("frame %d data lacks state %q: %s", i, want.state, frames[i].data)
+		}
+	}
+	if !strings.Contains(frames[2].data, `"result_url":"/v1/jobs/`+st.ID+`/result"`) {
+		t.Errorf("done event lacks the result url: %s", frames[2].data)
+	}
+	if comments == 0 {
+		t.Error("no heartbeat comments while the job was parked")
+	}
+}
+
+// TestSSELastEventIDResume pins replay: a reconnect carrying the last
+// seen sequence number receives only the later transitions, and a
+// client already at the terminal event gets an empty stream and EOF.
+func TestSSELastEventIDResume(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	waitDone(t, s, st.ID)
+
+	get := func(lastEventID string) ([]sseFrame, int) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+st.EventsURL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events (Last-Event-ID %q) = %d, want 200", lastEventID, resp.StatusCode)
+		}
+		frames, comments := readSSE(t, resp.Body)
+		return frames, comments
+	}
+
+	// No resume id: the full recorded history.
+	if frames, _ := get(""); len(frames) != 3 {
+		t.Fatalf("full replay = %d frames, want 3", len(frames))
+	}
+	// Resuming after seq 1 skips the queued event.
+	frames, _ := get("1")
+	if len(frames) != 2 || frames[0].id != "2" || frames[1].id != "3" {
+		t.Fatalf("resume after 1 = %+v, want frames 2 and 3", frames)
+	}
+	// Already past the terminal event: nothing left to say.
+	if frames, _ := get("3"); len(frames) != 0 {
+		t.Fatalf("resume after terminal = %+v, want empty stream", frames)
+	}
+	// A garbage resume id is the client's bug.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+st.EventsURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage Last-Event-ID = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSSEUnknownJob keeps the events route consistent with the status
+// route's 404/410 contract.
+func TestSSEUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/jNOSUCH/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events of unknown job = %d, want 404", resp.StatusCode)
+	}
+}

@@ -57,6 +57,14 @@ type record struct {
 	Type string `json:"type"`
 	ID   string `json:"id"`
 	Idem string `json:"idem,omitempty"`
+	// Tenant is the job's fair-share admission bucket
+	// (accepted/snap): tenant ownership and quotas survive restart.
+	// Records written before tenancy existed have it empty and replay
+	// under defaultTenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Fp is the request fingerprint (accepted/snap), so idempotency
+	// replays keep verifying parameters across restarts.
+	Fp string `json:"fp,omitempty"`
 
 	// Request parameters (accepted/snap), enough to re-run the job
 	// with the spooled graph.
@@ -109,7 +117,10 @@ type replayState struct {
 	jobs  map[string]*replayJob
 	order []string
 	tombs map[string]JobState
-	maxID uint64
+	// tombOrder preserves tomb record order so the bounded in-memory
+	// tombstone index evicts oldest-first after a restart too.
+	tombOrder []string
+	maxID     uint64
 }
 
 // parseJobID extracts the numeric part of a "j%06d" id.
@@ -172,6 +183,9 @@ func (rs *replayState) apply(rec record) error {
 		rj.reason = rec.Reason
 	case recTomb:
 		delete(rs.jobs, rec.ID)
+		if _, dup := rs.tombs[rec.ID]; !dup {
+			rs.tombOrder = append(rs.tombOrder, rec.ID)
+		}
 		rs.tombs[rec.ID] = JobState(rec.State)
 	default:
 		return fmt.Errorf("server: journal record of unknown type %q", rec.Type)
@@ -270,6 +284,14 @@ func (st *store) needsCompaction(live, tombs int) bool {
 	return n >= st.compactMin && n-tombs >= 4*(live+1)
 }
 
+// records returns the journal's record count under the store mutex
+// (the Log itself is externally synchronized).
+func (st *store) records() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.log.Records()
+}
+
 // rewrite replaces the log with recs (see journal.Rewrite).
 func (st *store) rewrite(recs []record) error {
 	payloads := make([][]byte, len(recs))
@@ -297,6 +319,8 @@ func acceptedRecord(j *Job) record {
 		Type:        recAccepted,
 		ID:          j.id,
 		Idem:        j.idemKey,
+		Tenant:      j.req.tenant,
+		Fp:          j.req.fingerprint,
 		K:           j.req.k,
 		Minimal:     j.req.minimal,
 		Mode:        string(j.req.startMode),
@@ -313,6 +337,8 @@ func snapRecord(j *Job) record {
 		Type:        recSnap,
 		ID:          j.id,
 		Idem:        j.idemKey,
+		Tenant:      j.req.tenant,
+		Fp:          j.req.fingerprint,
 		K:           j.req.k,
 		Minimal:     j.req.minimal,
 		Mode:        string(j.req.startMode),
@@ -338,6 +364,12 @@ func snapRecord(j *Job) record {
 // get their graph from the spool; a missing or corrupt spool fails the
 // job loudly instead of resurrecting it half-formed.
 func (s *Server) jobFromReplay(id string, rj *replayJob) *Job {
+	tenant := rj.rec.Tenant
+	if tenant == "" {
+		// Journals written before tenancy existed carry no tenant;
+		// their jobs replay into the anonymous bucket.
+		tenant = defaultTenant
+	}
 	job := &Job{
 		id:        id,
 		idemKey:   rj.rec.Idem,
@@ -345,18 +377,26 @@ func (s *Server) jobFromReplay(id string, rj *replayJob) *Job {
 		attempt:   rj.attempts,
 		done:      make(chan struct{}),
 		req: jobRequest{
-			k:         rj.rec.K,
-			minimal:   rj.rec.Minimal,
-			startMode: pipeline.PartitionMode(rj.rec.Mode),
-			timeout:   time.Duration(rj.rec.TimeoutNS),
+			k:           rj.rec.K,
+			minimal:     rj.rec.Minimal,
+			startMode:   pipeline.PartitionMode(rj.rec.Mode),
+			timeout:     time.Duration(rj.rec.TimeoutNS),
+			tenant:      tenant,
+			fingerprint: rj.rec.Fp,
 		},
 	}
+	// The per-attempt transition times died with the old process; the
+	// restored event log synthesizes the queued event (and, below, the
+	// terminal one) so SSE subscribers and Last-Event-ID resumes see a
+	// complete, monotone sequence.
+	job.appendEventLocked(JobQueued, job.submitted)
 	switch rj.state {
 	case JobDone, JobFailed, JobCanceled, JobQuarantined:
 		job.state = rj.state
 		job.summary = rj.summary
 		job.reason = rj.reason
 		job.finished = time.Unix(0, rj.rec.SubmittedNS) // best effort; exact finish time not journaled
+		job.appendEventLocked(rj.state, job.finished)
 		close(job.done)
 	default:
 		g, err := graph.ReadFile(s.store.spoolPath(id))
@@ -366,6 +406,7 @@ func (s *Server) jobFromReplay(id string, rj *replayJob) *Job {
 			// record rather than dropping it silently.
 			job.state = JobFailed
 			job.summary = &pipeline.Summary{Error: fmt.Sprintf("recovery: spooled request lost: %v", err)}
+			job.appendEventLocked(JobFailed, time.Now())
 			close(job.done)
 			_ = s.store.append(record{Type: recFailed, ID: id, Summary: job.summary})
 			return job
@@ -381,15 +422,18 @@ func (s *Server) jobFromReplay(id string, rj *replayJob) *Job {
 // workers start.
 func (s *Server) recoverJobs(rs *replayState) {
 	s.nextID = rs.maxID
-	s.tombs = rs.tombs
-	obsTombstones.Set(int64(len(s.tombs)))
+	// Re-adding tombs in record order through addTombLocked keeps the
+	// bounded index's oldest-first eviction correct across restarts.
+	for _, id := range rs.tombOrder {
+		s.addTombLocked(id, rs.tombs[id])
+	}
 	for _, id := range rs.order {
 		rj := rs.jobs[id]
 		job := s.jobFromReplay(id, rj)
 		s.jobs[id] = job
 		s.order = append(s.order, id)
 		if job.idemKey != "" {
-			s.idem[job.idemKey] = job
+			s.idem[idemScopedKey(job.req.tenant, job.idemKey)] = job
 		}
 		switch {
 		case job.terminal():
@@ -410,11 +454,13 @@ func (s *Server) recoverJobs(rs *replayState) {
 			obsRecoveredInterrupted.Inc()
 			s.enqueueAsync(job, s.backoffFor(rj.attempts))
 		default:
-			// Still queued at crash time: re-enqueue in order.
+			// Still queued at crash time: re-enqueue in order. New is
+			// single-threaded and the workers have not started, so the
+			// tenant queues are filled directly — no goroutine needed.
 			s.recovery.Requeued++
 			s.inflight++
 			obsRecoveredQueued.Inc()
-			s.enqueueAsync(job, 0)
+			s.pushLocked(job)
 		}
 	}
 	s.evictLocked()
@@ -445,42 +491,32 @@ func (s *Server) quarantine(job *Job, reason string) {
 	}
 }
 
-// enqueueAsync hands job to the worker pool after delay, waiting for
-// queue room if necessary. It backs both the retry/backoff path and
-// recovered backlogs larger than the queue capacity. The goroutine
-// exits promptly on shutdown, marking a job it never delivered as
-// canceled.
+// enqueueAsync hands job to the fair-share dispatcher after delay (the
+// retry/backoff path). The tenant queues are unbounded slices, so
+// unlike the old channel-based queue there is no room to wait for —
+// recovered backlogs were already admitted once and re-enter directly.
+// The goroutine exits promptly on shutdown, marking a job it never
+// delivered as canceled.
 func (s *Server) enqueueAsync(job *Job, delay time.Duration) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		timer := time.NewTimer(delay)
 		defer timer.Stop()
-		for {
-			select {
-			case <-timer.C:
-			case <-s.closing:
-				s.dropUndelivered(job)
-				return
-			}
-			s.mu.Lock()
-			if s.closed {
-				s.mu.Unlock()
-				s.dropUndelivered(job)
-				return
-			}
-			select {
-			case s.queue <- job:
-				obsQueueDepth.Set(int64(len(s.queue)))
-				s.mu.Unlock()
-				return
-			default:
-			}
-			s.mu.Unlock()
-			// Queue still full: retry shortly. The worker pool is
-			// draining it, so this resolves in one or two rounds.
-			timer.Reset(50 * time.Millisecond)
+		select {
+		case <-timer.C:
+		case <-s.closing:
+			s.dropUndelivered(job)
+			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.dropUndelivered(job)
+			return
+		}
+		s.pushLocked(job)
+		s.mu.Unlock()
 	}()
 }
 
@@ -502,12 +538,13 @@ func (s *Server) maybeCompactLocked() {
 	if s.store == nil || !s.store.needsCompaction(len(s.jobs), len(s.tombs)) {
 		return
 	}
-	recs := make([]record, 0, len(s.order)+len(s.tombs))
-	// Tombstones first: they are the cheapest records and replay
-	// order between distinct ids does not matter, but keeping job
-	// records in insertion order preserves re-enqueue order.
-	for id, state := range s.tombs {
-		recs = append(recs, record{Type: recTomb, ID: id, State: string(state)})
+	recs := make([]record, 0, len(s.order)+len(s.tombOrder))
+	// Tombstones first, in eviction order: they are the cheapest
+	// records, and writing them oldest-first keeps the bounded
+	// in-memory index's eviction order stable across a restart. Job
+	// records follow in insertion order to preserve re-enqueue order.
+	for _, id := range s.tombOrder {
+		recs = append(recs, record{Type: recTomb, ID: id, State: string(s.tombs[id])})
 	}
 	for _, id := range s.order {
 		recs = append(recs, snapRecord(s.jobs[id]))

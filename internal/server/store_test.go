@@ -310,7 +310,7 @@ func TestCompactionPreservesStateAcrossRestart(t *testing.T) {
 		waitDone(t, s1, st.ID)
 		last = st.ID
 	}
-	if got := s1.store.log.Records(); got >= 18 {
+	if got := s1.store.records(); got >= 18 {
 		t.Fatalf("journal never compacted: %d records for 6 jobs", got)
 	}
 	ts1.Close()
@@ -331,6 +331,121 @@ func TestCompactionPreservesStateAcrossRestart(t *testing.T) {
 	if tombCount == 0 {
 		t.Fatal("compaction dropped the eviction tombstones")
 	}
+}
+
+// TestTenantSurvivesRestart pins tenant persistence: the journal
+// carries each job's tenant, so after a restart the job still belongs
+// to its tenant, its idempotency key still answers within that tenant
+// only, and the replay-parameter fingerprint still verifies.
+func TestTenantSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	hdr := map[string]string{"X-Tenant": "acme", "Idempotency-Key": "restart-key"}
+
+	s1, ts1 := newTestServer(t, Config{DataDir: dir})
+	code, st, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), hdr)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	if st.Tenant != "acme" {
+		t.Fatalf("submitted tenant = %q, want acme", st.Tenant)
+	}
+	waitDone(t, s1, st.ID)
+	ts1.Close()
+	gracefulStop(t, s1)
+
+	s2, ts2 := newTestServer(t, Config{DataDir: dir})
+	j, ok := s2.job(st.ID)
+	if !ok {
+		t.Fatalf("job %s not restored", st.ID)
+	}
+	if got := j.status().Tenant; got != "acme" {
+		t.Fatalf("restored tenant = %q, want acme", got)
+	}
+	// Replay within the tenant: the original job answers.
+	code, replay, _ := postJob(t, ts2.URL+"/v1/anonymize?k=2", fig3Body(t), hdr)
+	if code != http.StatusOK || replay.ID != st.ID {
+		t.Fatalf("post-restart replay = %d job %s, want 200 job %s", code, replay.ID, st.ID)
+	}
+	// The same key from another tenant is another tenant's namespace: a
+	// fresh job, not acme's result.
+	code, other, _ := postJob(t, ts2.URL+"/v1/anonymize?k=2", fig3Body(t),
+		map[string]string{"X-Tenant": "globex", "Idempotency-Key": "restart-key"})
+	if code != http.StatusAccepted || other.ID == st.ID {
+		t.Fatalf("cross-tenant key reuse = %d job %s, want 202 and a new job", code, other.ID)
+	}
+	// The fingerprint survived too: a mismatched replay is still a 422
+	// after the restart.
+	code, _, _ = postJob(t, ts2.URL+"/v1/anonymize?k=3", fig3Body(t), hdr)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("post-restart mismatched replay = %d, want 422", code)
+	}
+	waitDone(t, s2, other.ID)
+}
+
+// TestRecoveredJobsChargeTenantCap pins recovery accounting: jobs a
+// crash re-enqueued occupy their tenant's queue slots, so a tenant at
+// cap stays at cap across a restart instead of doubling its backlog.
+func TestRecoveredJobsChargeTenantCap(t *testing.T) {
+	dir := t.TempDir()
+	release1 := make(chan struct{})
+	started1 := make(chan struct{}, 2)
+	hdr := map[string]string{"X-Tenant": "acme"}
+	s1, ts1 := newTestServer(t, Config{
+		DataDir: dir, Workers: 1, runPipeline: blockThenRun(release1, started1),
+	})
+	// Job A reaches the worker, job B stays queued; the crash strands
+	// both in the journal.
+	for i := 0; i < 2; i++ {
+		code, _, _ := postJob(t, ts1.URL+"/v1/anonymize?k=2", fig3Body(t), hdr)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		if i == 0 {
+			<-started1
+		}
+	}
+	ts1.Close()
+	crash(t, s1)
+
+	// Restart with a cap of 1: B re-enqueues immediately, A re-enqueues
+	// after its retry backoff. Once the worker holds one of them and
+	// the other is back in acme's queue, acme is at cap.
+	release2 := make(chan struct{})
+	started2 := make(chan struct{}, 2)
+	s2, ts2 := newTestServer(t, Config{
+		DataDir: dir, Workers: 1, TenantQueueCap: 1,
+		RetryBackoff: 10 * time.Millisecond,
+		runPipeline:  blockThenRun(release2, started2),
+	})
+	<-started2
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s2.mu.Lock()
+		depth := 0
+		if ten, ok := s2.tenants["acme"]; ok {
+			depth = len(ten.queue)
+		}
+		s2.mu.Unlock()
+		if depth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered job never re-entered the tenant queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code, _, _ := postJob(t, ts2.URL+"/v1/anonymize?k=2", fig3Body(t), hdr)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("submit at recovered cap = %d, want 429: recovery did not charge the tenant", code)
+	}
+	// Another tenant is unaffected.
+	code, stB, _ := postJob(t, ts2.URL+"/v1/anonymize?k=2", fig3Body(t),
+		map[string]string{"X-Tenant": "globex"})
+	if code != http.StatusAccepted {
+		t.Fatalf("other-tenant submit = %d, want 202", code)
+	}
+	close(release2)
+	waitDone(t, s2, stB.ID)
 }
 
 func TestCorruptJournalRefusesStart(t *testing.T) {

@@ -1,0 +1,197 @@
+package server
+
+import "time"
+
+// Per-tenant fair-share admission (DESIGN.md §13). Every job belongs
+// to a tenant (the X-Tenant header; anonymous callers share
+// defaultTenant), and the single FIFO queue of the original design is
+// replaced by per-tenant queues drained under deficit round robin, so
+// a tenant flooding its own queue can delay only itself — the quiet
+// tenant's next job is always at most one scheduling round away.
+//
+// Admission applies three independent caps, in order:
+//
+//  1. a per-tenant token-bucket rate cap (Config.TenantRate /
+//     TenantBurst, GCRA form: one timestamp per tenant instead of a
+//     refill loop) — 429 with a Retry-After that says when the
+//     tenant's own bucket conforms again;
+//  2. a per-tenant queue-depth cap (Config.TenantQueueCap) — 429 with
+//     a Retry-After scaled by that tenant's backlog alone;
+//  3. the global queue bound (Config.QueueCapacity), unchanged — the
+//     memory-protection backstop.
+
+// defaultTenant is the tenant id of callers that send no X-Tenant
+// header: anonymous traffic shares one fair-share slot instead of
+// bypassing tenancy.
+const defaultTenant = "default"
+
+// maxTenantLen bounds the tenant id, so a hostile header cannot grow
+// journal records or the tenant map keys without bound.
+const maxTenantLen = 64
+
+// validTenant reports whether id is a well-formed tenant id:
+// 1..maxTenantLen characters from [A-Za-z0-9._-]. The charset keeps
+// ids safe to embed in journal records, metrics, and log lines.
+func validTenant(id string) bool {
+	if len(id) == 0 || len(id) > maxTenantLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tenantState is one tenant's admission and scheduling state. All
+// fields are guarded by Server.mu.
+type tenantState struct {
+	id string
+	// queue is the tenant's FIFO of admitted-but-not-dispatched jobs.
+	queue []*Job
+	// deficit is the deficit-round-robin counter: each scheduling
+	// visit grants drrQuantum, each dispatched job costs drrCost.
+	// With uniform unit job cost the schedule reduces to round robin
+	// across active tenants, but the deficit form is kept so a future
+	// per-job cost model (e.g. graph size) slots in without touching
+	// the dispatcher.
+	deficit int
+	// tat is the token bucket in GCRA form: the theoretical arrival
+	// time of the next conforming request. tat <= now means a full
+	// bucket; tat-now is the tenant's current rate debt.
+	tat time.Time
+}
+
+// drrQuantum and drrCost are the deficit-round-robin parameters: every
+// active tenant earns drrQuantum per scheduling visit and each
+// dispatched job costs drrCost. Equal values make one job per tenant
+// per round.
+const (
+	drrQuantum = 1
+	drrCost    = 1
+)
+
+// rateAllow runs the tenant's token bucket: it either admits the
+// request (consuming one token by pushing tat forward) or returns the
+// wait until the tenant's own bucket conforms again, rounded up to the
+// Retry-After header's whole-second granularity. rate <= 0 disables
+// the cap.
+func (t *tenantState) rateAllow(now time.Time, rate float64, burst int) (time.Duration, bool) {
+	if rate <= 0 {
+		return 0, true
+	}
+	inc := time.Duration(float64(time.Second) / rate)
+	tat := t.tat
+	if tat.Before(now) {
+		tat = now
+	}
+	// Conforming iff the accumulated debt leaves at least one token:
+	// debt <= (burst-1) tokens' worth.
+	if debt := tat.Sub(now); debt > time.Duration(burst-1)*inc {
+		wait := debt - time.Duration(burst-1)*inc
+		ra := (wait + time.Second - 1).Truncate(time.Second)
+		if ra < time.Second {
+			ra = time.Second
+		}
+		return ra, false
+	}
+	t.tat = tat.Add(inc)
+	return 0, true
+}
+
+// rateRefund returns the token rateAllow consumed, for submissions
+// that fail after the rate check (journal unavailable): a 5xx the
+// server caused must not charge the tenant's budget.
+func (t *tenantState) rateRefund(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	t.tat = t.tat.Add(-time.Duration(float64(time.Second) / rate))
+}
+
+// tenantLocked returns (creating if needed) the tenant's state.
+// Caller holds s.mu.
+func (s *Server) tenantLocked(id string) *tenantState {
+	t, ok := s.tenants[id]
+	if !ok {
+		t = &tenantState{id: id}
+		s.tenants[id] = t
+		obsTenantsTracked.Set(int64(len(s.tenants)))
+	}
+	return t
+}
+
+// sweepTenantsLocked amortizes tenant-map cleanup over admissions:
+// every 256 submissions, tenant states that hold no queued jobs and no
+// rate debt are dropped — recreating one later is indistinguishable
+// from having kept it (an idle bucket refills to full anyway), so the
+// map stays proportional to recently active tenants, not to every
+// tenant id ever seen. Caller holds s.mu.
+func (s *Server) sweepTenantsLocked(now time.Time) {
+	s.submits++
+	if s.submits%256 != 0 {
+		return
+	}
+	for id, t := range s.tenants {
+		if len(t.queue) == 0 && !t.tat.After(now) {
+			delete(s.tenants, id)
+		}
+	}
+	obsTenantsTracked.Set(int64(len(s.tenants)))
+}
+
+// pushLocked appends job to its tenant's queue, activating the tenant
+// in the scheduling ring if this is its first queued job, and wakes
+// one worker. Caller holds s.mu.
+func (s *Server) pushLocked(job *Job) {
+	t := s.tenantLocked(job.req.tenant)
+	t.queue = append(t.queue, job)
+	if len(t.queue) == 1 {
+		s.ring = append(s.ring, t)
+		obsTenantsActive.Set(int64(len(s.ring)))
+	}
+	s.queuedTotal++
+	obsQueueDepth.Set(int64(s.queuedTotal))
+	s.cond.Signal()
+}
+
+// popLocked dispatches the next job under deficit round robin across
+// the active tenants, or returns nil when every queue is empty. The
+// ring holds exactly the tenants with non-empty queues; a tenant whose
+// queue drains leaves the ring with its deficit reset (an inactive
+// tenant must not bank credit). Caller holds s.mu.
+func (s *Server) popLocked() *Job {
+	for range s.ring {
+		if s.ringIdx >= len(s.ring) {
+			s.ringIdx = 0
+		}
+		t := s.ring[s.ringIdx]
+		t.deficit += drrQuantum
+		if t.deficit < drrCost {
+			s.ringIdx++
+			continue
+		}
+		t.deficit -= drrCost
+		job := t.queue[0]
+		copy(t.queue, t.queue[1:])
+		t.queue[len(t.queue)-1] = nil
+		t.queue = t.queue[:len(t.queue)-1]
+		s.queuedTotal--
+		obsQueueDepth.Set(int64(s.queuedTotal))
+		if len(t.queue) == 0 {
+			t.deficit = 0
+			s.ring = append(s.ring[:s.ringIdx], s.ring[s.ringIdx+1:]...)
+			obsTenantsActive.Set(int64(len(s.ring)))
+			// ringIdx now already points at the next tenant.
+		} else {
+			s.ringIdx++
+		}
+		return job
+	}
+	return nil
+}

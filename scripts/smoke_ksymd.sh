@@ -2,9 +2,12 @@
 # End-to-end smoke of the ksymd daemon (the CI "ksymd-smoke" job):
 # build the binaries, start the daemon, fire concurrent anonymization
 # requests against the examples/ inputs, check /healthz and /metrics,
-# SIGTERM it, and assert a clean drain — exit code 0, every job
-# answered, every output artifact complete (parses as a release), and
-# no "*.tmp" debris from the atomic writers.
+# stream a job's lifecycle over SSE, flood one tenant against the
+# per-tenant caps while a quiet tenant still completes, SIGTERM it,
+# and assert a clean drain — exit code 0, every job answered, every
+# output artifact complete (parses as a release), and no "*.tmp"
+# debris from the atomic writers. A kill -9 phase then checks journal
+# replay.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,6 +76,19 @@ for idx in "${!ids[@]}"; do
   "$WORK/bin/ksample" -release "$WORK/result_$idx.release" -count 1 >/dev/null
 done
 
+echo "== SSE: /events streams the job lifecycle and closes itself"
+curl -fsS "$BASE/v1/anonymize?k=2&timeout=20s" \
+  --data-binary @examples/data/fig3.edges -o "$WORK/sse_submit.json"
+sid="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/sse_submit.json")"
+# -N disables buffering; no polling loop — the server ends the stream
+# after the terminal event, so curl exits on its own (--max-time is
+# only a hang guard).
+curl -fsS -N --max-time 30 "$BASE/v1/jobs/$sid/events" -o "$WORK/events.txt"
+grep -q "^event: state" "$WORK/events.txt"
+grep -q '"state":"queued"' "$WORK/events.txt"
+grep -q '"state":"done"' "$WORK/events.txt"
+grep -q "^id: " "$WORK/events.txt"
+
 echo "== metrics reflect the work"
 curl -fsS "$BASE/metrics" -o "$WORK/metrics.json"
 python3 - "$WORK/metrics.json" <<'EOF'
@@ -93,6 +109,60 @@ echo "== no atomic-write debris"
 if find . "$WORK" -name '*.tmp' | grep -q .; then
   echo "leftover tmp files:"; find . "$WORK" -name '*.tmp'; exit 1
 fi
+
+echo "== two-tenant flood: per-tenant caps shed the flooder, the quiet tenant still completes"
+"$WORK/bin/ksymd" -addr "127.0.0.1:${PORT}" -workers 1 -queue 8 \
+  -tenant-queue-cap 2 -tenant-rate 1 -tenant-burst 2 \
+  -max-timeout 30s -drain-timeout 20s 2>"$WORK/ksymd_fair.log" &
+KSYMD_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$KSYMD_PID" || { cat "$WORK/ksymd_fair.log"; echo "ksymd died at startup"; exit 1; }
+  sleep 0.1
+done
+# Six rapid submits from the flooding tenant against burst 2 + cap 2:
+# some must shed with 429, and every 429 must carry Retry-After.
+shed=0
+for i in $(seq 1 6); do
+  code="$(curl -s -o "$WORK/flood_$i.json" -D "$WORK/flood_$i.hdr" -w '%{http_code}' \
+    -H "X-Tenant: flood" "$BASE/v1/anonymize?k=5&timeout=20s" \
+    --data-binary @examples/data/ba200.edges)"
+  case "$code" in
+    202) ;;
+    429)
+      shed=$((shed + 1))
+      grep -qi '^retry-after: [0-9]' "$WORK/flood_$i.hdr" \
+        || { echo "429 without Retry-After:"; cat "$WORK/flood_$i.hdr"; exit 1; }
+      ;;
+    *) echo "flood submit $i returned $code"; cat "$WORK/flood_$i.json"; exit 1 ;;
+  esac
+done
+[ "$shed" -ge 1 ] || { echo "flooding tenant was never shed (expected per-tenant 429s)"; exit 1; }
+# The quiet tenant is admitted despite the flood and finishes without
+# waiting out the flooder's backlog (fair-share dispatch).
+curl -fsS -H "X-Tenant: quiet" "$BASE/v1/anonymize?k=2&timeout=20s" \
+  --data-binary @examples/data/fig3.edges -o "$WORK/quiet_submit.json"
+qid="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/quiet_submit.json")"
+state=""
+for _ in $(seq 1 300); do
+  state="$(curl -fsS "$BASE/v1/jobs/$qid" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  [ "$state" = done ] && break
+  sleep 0.1
+done
+[ "$state" = done ] || { curl -fsS "$BASE/v1/jobs/$qid"; echo "quiet tenant's job starved (state '$state')"; exit 1; }
+python3 - "$WORK/quiet_submit.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert st["tenant"] == "quiet", st
+EOF
+curl -fsS "$BASE/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+assert m.get("server.tenant_rejected_rate", 0) + m.get("server.tenant_rejected_depth", 0) >= 1, m'
+kill -TERM "$KSYMD_PID"
+rc=0; wait "$KSYMD_PID" || rc=$?
+[ "$rc" -eq 0 ] || { cat "$WORK/ksymd_fair.log"; echo "fair-share daemon exited $rc"; exit 1; }
+grep -q "drained, exiting" "$WORK/ksymd_fair.log"
 
 echo "== crash recovery: kill -9 mid-job, restart, replay (DESIGN.md §11)"
 DATA="$WORK/data"
@@ -162,4 +232,4 @@ if find "$DATA/spool" -type f 2>/dev/null | grep -q .; then
   echo "orphan spool files:"; find "$DATA/spool" -type f; exit 1
 fi
 
-echo "ksymd smoke OK: $JOBS jobs, clean drain, complete artifacts, crash replay"
+echo "ksymd smoke OK: $JOBS jobs, SSE stream, fair-share flood shed, clean drain, complete artifacts, crash replay"
