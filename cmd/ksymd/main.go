@@ -4,7 +4,11 @@
 // so one tenant cannot starve another), SSE status streaming,
 // per-request deadlines that ride the partition degradation ladder,
 // graceful drain on SIGTERM/SIGINT, per-job panic isolation, and
-// idempotency keys so client retries never re-run a search.
+// idempotency keys so client retries never re-run a search. With
+// -shards (or -shard-exec) it runs as a sharded front instead,
+// placing jobs on backend ksymds by rendezvous hashing with health
+// checks, retry/backoff, failover, and graceful degradation to local
+// execution (DESIGN.md §14).
 //
 // Usage:
 //
@@ -27,12 +31,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ksymmetry/internal/faulttest"
 	"ksymmetry/internal/obs"
 	"ksymmetry/internal/server"
+	"ksymmetry/internal/shard"
 	"ksymmetry/internal/validate"
 )
 
@@ -56,10 +62,25 @@ func main() {
 		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = one second of -tenant-rate, minimum 1)")
 		sseHeartbeat  = flag.Duration("sse-heartbeat", 15*time.Second, "keepalive comment interval on /v1/jobs/{id}/events streams")
 		tombstoneCap  = flag.Int("tombstone-cap", 4096, "evicted-job tombstones kept in memory for 410 answers (oldest dropped first)")
+
+		shards          = flag.String("shards", "", "comma-separated backend addresses (host:port): run as a sharded front, placing jobs on backends by consistent hash with health checks, retry, and failover")
+		shardExec       = flag.Int("shard-exec", 0, "self-spawn this many local backend ksymd processes on free ports and shard across them (mutually exclusive with -shards)")
+		shardProbe      = flag.Duration("shard-probe-interval", time.Second, "backend /readyz health-probe period on a sharded front")
+		shardCooldown   = flag.Duration("shard-breaker-cooldown", 2*time.Second, "initial circuit-breaker cooldown after a backend trips (doubles per failed half-open trial, capped at 30s)")
+		degradedWorkers = flag.Int("degraded-workers", 1, "local pipeline runs a sharded front allows itself while every backend is unavailable")
+
+		httpReadHeaderTimeout = flag.Duration("http-read-header-timeout", 10*time.Second, "disconnect a client that stalls while sending request headers (slowloris hardening)")
+		httpIdleTimeout       = flag.Duration("http-idle-timeout", 120*time.Second, "reap idle keep-alive connections")
 	)
 	flag.Parse()
 
+	// cleanup reaps -shard-exec children on every exit path; fatal runs
+	// it because os.Exit skips defers.
+	var cleanup func()
 	fatal := func(err error) {
+		if cleanup != nil {
+			cleanup()
+		}
 		fmt.Fprintln(os.Stderr, "ksymd:", err)
 		os.Exit(2)
 	}
@@ -102,6 +123,21 @@ func main() {
 	if err := validate.Positive("-tombstone-cap", *tombstoneCap); err != nil {
 		fatal(err)
 	}
+	if *shards != "" && *shardExec > 0 {
+		fatal(fmt.Errorf("-shards and -shard-exec are mutually exclusive"))
+	}
+	if err := validate.NonNegative("-shard-exec", *shardExec); err != nil {
+		fatal(err)
+	}
+	if *shardProbe <= 0 || *shardCooldown <= 0 {
+		fatal(fmt.Errorf("-shard-probe-interval and -shard-breaker-cooldown must be > 0"))
+	}
+	if err := validate.Positive("-degraded-workers", *degradedWorkers); err != nil {
+		fatal(err)
+	}
+	if *httpReadHeaderTimeout <= 0 || *httpIdleTimeout <= 0 {
+		fatal(fmt.Errorf("-http-read-header-timeout and -http-idle-timeout must be > 0"))
+	}
 	// Crash-point injection for the fault suite: inert unless
 	// KSYM_CRASH_POINT is set in the environment.
 	if err := faulttest.ArmCrashFromEnv(); err != nil {
@@ -117,6 +153,43 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "ksymd: pprof on http://%s/debug/pprof/\n", got)
+	}
+
+	// Sharded front: resolve the backend ring — addresses from -shards,
+	// or processes this ksymd spawns itself under -shard-exec — and
+	// build the router the server will place jobs through.
+	var router *shard.Router
+	backendAddrs := splitShards(*shards)
+	if *shardExec > 0 {
+		addrs, reap, err := spawnBackends(*shardExec, *jobWorkers, *searchWorkers, *maxTimeout, *maxBody)
+		if err != nil {
+			fatal(err)
+		}
+		backendAddrs, cleanup = addrs, reap
+		defer reap()
+	}
+	if len(backendAddrs) > 0 {
+		r, err := shard.NewRouter(backendAddrs, shard.Config{
+			ProbeInterval:   *shardProbe,
+			BreakerCooldown: *shardCooldown,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		router = r
+		// A front's workers mostly wait on backends, not CPUs: unless
+		// the operator pinned -workers, give the pool enough slots to
+		// keep every backend busy with one job in flight behind it.
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				workersSet = true
+			}
+		})
+		if !workersSet {
+			*workers = 2 * len(backendAddrs)
+		}
+		fmt.Fprintf(os.Stderr, "ksymd: sharded front over %d backends: %s\n", len(backendAddrs), strings.Join(backendAddrs, ", "))
 	}
 
 	srv, err := server.New(server.Config{
@@ -135,6 +208,8 @@ func main() {
 		DataDir:         *dataDir,
 		RetryMax:        *retryMax,
 		RetryBackoff:    *retryBackoff,
+		ShardRouter:     router,
+		DegradedWorkers: *degradedWorkers,
 	})
 	if err != nil {
 		// A corrupt journal refuses to start rather than serving from
@@ -146,7 +221,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksymd: journal replayed from %s: %d requeued, %d interrupted (retrying), %d quarantined, %d finished restored, %d torn bytes repaired\n",
 			*dataDir, rec.Requeued, rec.Interrupted, rec.Quarantined, rec.Finished, rec.TornBytes)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := srv.NewHTTPServer(*addr, *httpReadHeaderTimeout, *httpIdleTimeout)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -164,6 +239,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ksymd: %v: draining (readiness now 503; up to %v for in-flight jobs; signal again to abort)\n",
 			sig, *drainTimeout)
 	case err := <-serveErr:
+		if cleanup != nil {
+			cleanup()
+		}
 		fmt.Fprintln(os.Stderr, "ksymd: serve:", err)
 		os.Exit(1)
 	}

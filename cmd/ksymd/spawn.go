@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// spawnReadyWait bounds how long a -shard-exec front waits for every
+// spawned backend to answer /readyz before giving up and reaping them.
+const spawnReadyWait = 15 * time.Second
+
+// splitShards parses the -shards flag: comma-separated addresses,
+// whitespace-tolerant, empty entries dropped.
+func splitShards(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// spawnBackends re-execs this binary n times as plain (non-sharded)
+// backend daemons on free localhost ports, memory-only, stderr
+// inherited, and waits until each answers /readyz. The returned reap
+// func SIGTERMs the children, waits briefly for their drains, and
+// SIGKILLs stragglers; it is safe to call more than once.
+func spawnBackends(n, jobWorkers, searchWorkers int, maxTimeout time.Duration, maxBody int64) (addrs []string, reap func(), err error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("-shard-exec: locate own binary: %w", err)
+	}
+	var cmds []*exec.Cmd
+	// Until the ring is confirmed ready, failure paths kill hard: the
+	// children have no jobs yet, so there is nothing to drain.
+	abort := func() {
+		for _, c := range cmds {
+			_ = c.Process.Kill()
+			_ = c.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		port, perr := freePort()
+		if perr != nil {
+			abort()
+			return nil, nil, fmt.Errorf("-shard-exec: reserve port: %w", perr)
+		}
+		addr := fmt.Sprintf("localhost:%d", port)
+		cmd := exec.Command(self,
+			"-addr", addr,
+			"-workers", "1",
+			"-job-workers", strconv.Itoa(jobWorkers),
+			"-search-workers", strconv.Itoa(searchWorkers),
+			"-max-timeout", maxTimeout.String(),
+			"-max-body", strconv.FormatInt(maxBody, 10),
+		)
+		cmd.Stderr = os.Stderr
+		// Children must not inherit an armed crash point: KSYM_CRASH_*
+		// aims at the process that read it, not the whole tree.
+		cmd.Env = scrubCrashEnv(os.Environ())
+		if serr := cmd.Start(); serr != nil {
+			abort()
+			return nil, nil, fmt.Errorf("-shard-exec: start backend: %w", serr)
+		}
+		cmds = append(cmds, cmd)
+		addrs = append(addrs, addr)
+	}
+	deadline := time.Now().Add(spawnReadyWait)
+	client := &http.Client{Timeout: time.Second}
+	for i, addr := range addrs {
+		for {
+			resp, gerr := client.Get("http://" + addr + "/readyz")
+			if gerr == nil {
+				ok := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if ok {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				abort()
+				return nil, nil, fmt.Errorf("-shard-exec: backend %d (%s) not ready within %v", i, addr, spawnReadyWait)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	var once sync.Once
+	reap = func() {
+		once.Do(func() {
+			for _, c := range cmds {
+				_ = c.Process.Signal(syscall.SIGTERM)
+			}
+			done := make(chan struct{})
+			go func() {
+				for _, c := range cmds {
+					_ = c.Wait()
+				}
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				for _, c := range cmds {
+					_ = c.Process.Kill()
+				}
+				<-done
+			}
+		})
+	}
+	return addrs, reap, nil
+}
+
+// freePort reserves then releases an ephemeral localhost port. The
+// tiny close-to-bind race is acceptable for self-spawned local
+// backends; a clash surfaces as a readiness timeout, not silence.
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		return 0, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port, nil
+}
+
+// scrubCrashEnv drops the fault-injection variables from a child
+// environment.
+func scrubCrashEnv(env []string) []string {
+	out := env[:0]
+	for _, kv := range env {
+		if strings.HasPrefix(kv, "KSYM_CRASH_POINT=") || strings.HasPrefix(kv, "KSYM_CRASH_HITS=") {
+			continue
+		}
+		out = append(out, kv)
+	}
+	return out
+}

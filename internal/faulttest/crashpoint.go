@@ -43,6 +43,20 @@ const (
 	// JournalMidCompaction fires midway through writing a compaction
 	// snapshot: a crash here must leave the old log untouched.
 	JournalMidCompaction Point = "journal.mid_compaction"
+	// ShardBeforeSubmit fires on a sharded front just before a job is
+	// submitted to a backend: a crash here must leave the job accepted
+	// but unplaced, so the restart re-places it from scratch.
+	ShardBeforeSubmit Point = "shard.before_submit"
+	// ShardAfterSubmit fires after the backend accepted a placement but
+	// before the front starts awaiting it: a crash here must re-place
+	// onto the same idempotency key, deduping to the running remote job
+	// instead of re-running the search.
+	ShardAfterSubmit Point = "shard.after_submit_before_await"
+	// ServerBeforeRun fires on a worker just before the pipeline
+	// executes a job locally: killing a backend here is the
+	// deterministic "backend dies mid-job" the shard fault suite and
+	// smoke test need.
+	ServerBeforeRun Point = "server.before_run"
 )
 
 // Points lists every crash point, for suites that iterate them.
@@ -51,6 +65,9 @@ var Points = []Point{
 	JournalAfterAppend,
 	JournalBeforeRename,
 	JournalMidCompaction,
+	ShardBeforeSubmit,
+	ShardAfterSubmit,
+	ServerBeforeRun,
 }
 
 // armed is nonzero while any hook is registered; Hit's fast path is a

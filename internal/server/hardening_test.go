@@ -1,0 +1,125 @@
+// HTTP-hardening regression suite: Retry-After must never round a
+// live backoff down to 0 (which clients read as "retry immediately"),
+// a client that stalls mid-header gets disconnected instead of pinning
+// a connection forever (slowloris), and an SSE subscriber that never
+// reads can neither block job state transitions nor leak its handler
+// goroutine past its disconnect.
+package server
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ksymmetry/internal/faulttest"
+)
+
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 1},
+		{0, 1},
+		{time.Nanosecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Nanosecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{10*time.Second + time.Millisecond, 11},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestStalledHeaderDisconnected pins the slowloris defense: a client
+// that opens a connection and trickles an unfinished request header
+// is cut off once ReadHeaderTimeout elapses, rather than holding the
+// connection open indefinitely.
+func TestStalledHeaderDisconnected(t *testing.T) {
+	s := mustNew(t, Config{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	hs := s.NewHTTPServer("127.0.0.1:0", 150*time.Millisecond, time.Minute)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() { _ = hs.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /readyz HTTP/1.1\r\nHost: t\r\nX-Stall: ")); err != nil {
+		t.Fatal(err)
+	}
+	// Stall. The server must close the connection on its own; the read
+	// deadline is only the test's failure bound, far beyond the 150ms
+	// header timeout.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stalled-header connection survived %v, want disconnect shortly after the 150ms header timeout", d)
+	}
+}
+
+// TestSSESlowConsumerDoesNotBlockJob subscribes to a running job's
+// event stream and then never reads a byte. The job must still march
+// through its transitions on time (event fan-out is drop-on-full, not
+// blocking), and once the dead-weight client disconnects its handler
+// goroutine must exit.
+func TestSSESlowConsumerDoesNotBlockJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{SSEHeartbeat: 5 * time.Millisecond})
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s.runPipeline = blockThenRun(release, started)
+
+	_, st, _ := postJob(t, ts.URL+"/v1/anonymize?k=2", fig3Body(t), nil)
+	<-started
+
+	base := faulttest.Goroutines()
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := "GET /v1/jobs/" + st.ID + "/events HTTP/1.1\r\nHost: t\r\nAccept: text/event-stream\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	// Let the handler start and heartbeats pile up against the unread
+	// socket before the job is allowed to finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	j, ok := s.job(st.ID)
+	if !ok {
+		t.Fatalf("job %s not retained", st.ID)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job stuck in %s behind a never-reading SSE subscriber", j.State())
+	}
+
+	conn.Close()
+	faulttest.AssertNoLeak(t, base)
+}

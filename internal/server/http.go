@@ -48,6 +48,43 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// NewHTTPServer wraps Handler in an http.Server hardened against slow
+// clients: ReadHeaderTimeout disconnects a client that stalls mid-header
+// (slowloris — without it one such connection per file descriptor
+// starves the listener), and IdleTimeout reaps idle keep-alive
+// connections. Non-positive values get the production defaults
+// (10s / 120s). No ReadTimeout or WriteTimeout: request bodies can be
+// large graph uploads and /events streams are deliberately long-lived.
+func (s *Server) NewHTTPServer(addr string, readHeaderTimeout, idleTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = 10 * time.Second
+	}
+	if idleTimeout <= 0 {
+		idleTimeout = 120 * time.Second
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
+// retryAfterSeconds renders a backoff hint for the Retry-After header:
+// whole seconds, rounded up, minimum 1 — a sub-second hint must never
+// truncate to "Retry-After: 0", which invites an immediate retry
+// stampede from every rejected client at once.
+func retryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	secs := (d + time.Second - 1) / time.Second
+	if secs < 1 {
+		return 1
+	}
+	return int(secs)
+}
+
 // apiError is the JSON error body every non-2xx response carries.
 type apiError struct {
 	Error string `json:"error"`
@@ -84,7 +121,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Admission control: shed the load and tell the client when to
 		// come back — the tenant's own bucket/backlog for the per-tenant
 		// caps, the recent per-job wall time for the global backstop.
-		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 		return
 	case errors.Is(err, errIdemMismatch):
@@ -128,7 +165,27 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		s.missingJob(w, r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.status())
+	st := job.status()
+	if s.router != nil && !job.terminal() {
+		// Sharded front, remote run in flight: overlay the owning
+		// backend's live detail (attempt count, in-progress summary) on
+		// the front's authoritative lifecycle view. A backend that
+		// cannot answer degrades to the local view — status never fails
+		// because a shard is down.
+		if bname, rid := job.placement(); bname != "" && rid != "" {
+			if b := s.router.BackendByName(bname); b != nil {
+				if rst, err := s.router.Status(r.Context(), b, rid); err == nil {
+					if rst.Summary != nil {
+						st.Summary = rst.Summary
+					}
+					if rst.Attempt > st.Attempt {
+						st.Attempt = rst.Attempt
+					}
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleEvents streams a job's state transitions as text/event-stream:
@@ -148,6 +205,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported by this connection"})
 		return
+	}
+	if s.router != nil && !job.terminal() {
+		// Sharded front, remote run in flight: relay the owning
+		// backend's richer stream (per-attempt transitions), with one
+		// transparent reconnect-and-replay if the backend dies
+		// mid-stream. A proxy that cannot even open the remote stream
+		// falls through to the front's local event log.
+		if bname, _ := job.placement(); bname != "" {
+			if s.proxyEvents(w, r, fl, job) {
+				return
+			}
+		}
 	}
 	var afterSeq int64
 	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
@@ -245,6 +314,22 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	job.mu.Unlock()
 	switch state {
 	case JobQueued, JobRunning:
+		// Sharded front: the remote run may already be done while the
+		// front's poll lags — proxy the artifact straight from the
+		// owning backend when it has one.
+		if s.router != nil {
+			if bname, rid := job.placement(); bname != "" && rid != "" {
+				if b := s.router.BackendByName(bname); b != nil {
+					if rel, err := s.router.Result(r.Context(), b, rid); err == nil {
+						w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+						if err := rel.Write(w); err != nil {
+							panic(http.ErrAbortHandler)
+						}
+						return
+					}
+				}
+			}
+		}
 		// Not ready yet: 409 with the status body, so pollers can keep
 		// one URL.
 		writeJSON(w, http.StatusConflict, job.status())

@@ -85,6 +85,11 @@ type Job struct {
 	reason  string
 	summary *pipeline.Summary
 	release *publish.Release
+	// backend / remoteID are the sharded placement: which backend owns
+	// the remote run and under which id (empty for local execution).
+	// They survive front restarts via the journal's placed records.
+	backend  string
+	remoteID string
 	// events records every state transition in order; subs fans new
 	// transitions out to live SSE subscribers (events.go).
 	events []jobEvent
@@ -149,6 +154,22 @@ func (j *Job) finish(state JobState, sum *pipeline.Summary, rel *publish.Release
 	close(j.done)
 }
 
+// setPlacement records the job's current shard placement.
+func (j *Job) setPlacement(backend, remoteID string) {
+	j.mu.Lock()
+	j.backend = backend
+	j.remoteID = remoteID
+	j.mu.Unlock()
+}
+
+// placement returns the job's current shard placement ("", "" when the
+// job runs locally or has not been placed yet).
+func (j *Job) placement() (backend, remoteID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.backend, j.remoteID
+}
+
 // terminal reports whether the job has finished (in any way), without
 // racing finish.
 func (j *Job) terminal() bool {
@@ -181,6 +202,9 @@ type jobStatus struct {
 	// Reason documents a quarantine.
 	Reason  string            `json:"reason,omitempty"`
 	Summary *pipeline.Summary `json:"summary,omitempty"`
+	// Backend names the shard the job was placed on (sharded fronts
+	// only; empty for local execution).
+	Backend string `json:"backend,omitempty"`
 }
 
 func (j *Job) status() jobStatus {
@@ -196,6 +220,7 @@ func (j *Job) status() jobStatus {
 		EventsURL:   "/v1/jobs/" + j.id + "/events",
 		Reason:      j.reason,
 		Summary:     j.summary,
+		Backend:     j.backend,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -87,4 +87,17 @@ var (
 	obsSSEEvents      = serverScope.Counter("sse_events")
 	obsSSEReplayed    = serverScope.Counter("sse_replayed")
 	obsSSEHeartbeats  = serverScope.Counter("sse_heartbeats")
+
+	// Sharded front (DESIGN.md §14).
+	//
+	// obsShardDegraded is 1 while the front is serving in local-degraded
+	// mode (no backend available at the last placement attempt; a later
+	// successful placement resets it). obsShardPlacements counts jobs
+	// placed on a backend; obsShardFailovers counts re-placements onto
+	// the next ring candidate after the preferred backend failed;
+	// obsShardDegradedRuns counts jobs the front had to execute locally.
+	obsShardDegraded     = serverScope.Gauge("shard_degraded")
+	obsShardPlacements   = serverScope.Counter("shard_placements")
+	obsShardFailovers    = serverScope.Counter("shard_failovers")
+	obsShardDegradedRuns = serverScope.Counter("shard_degraded_runs")
 )

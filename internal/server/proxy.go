@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The SSE relay of a sharded front (DESIGN.md §14): while a job runs
+// remotely, GET /v1/jobs/{id}/events streams the owning backend's
+// event log — which carries the per-attempt transitions the front
+// cannot see — rewritten to the front's job id. If the backend dies
+// mid-stream, the relay performs one transparent reconnect-and-replay:
+// it re-resolves the placement (a failover may have moved the job to
+// another backend by then) and resumes via Last-Event-ID, so the
+// client's single connection survives a backend restart. If the job
+// instead finishes on the front (degraded local run, or the failover
+// landed the terminal state locally first), the relay closes with the
+// front's own terminal event.
+
+// proxyReconnectWindow bounds how long the relay waits for a
+// re-placement after losing the backend mid-stream before giving up
+// and serving the front's local view of the job.
+const proxyReconnectWindow = 20 * time.Second
+
+// proxyEvents relays the remote event stream. It returns false only
+// when nothing has been written yet and the caller should serve the
+// local stream instead; once headers are out it always returns true.
+func (s *Server) proxyEvents(w http.ResponseWriter, r *http.Request, fl http.Flusher, job *Job) bool {
+	bname, rid := job.placement()
+	b := s.router.BackendByName(bname)
+	if b == nil || rid == "" {
+		return false
+	}
+	lastID := r.Header.Get("Last-Event-ID")
+	body, err := s.router.OpenEvents(r.Context(), b, rid, lastID)
+	if err != nil {
+		return false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	reconnected := false
+	for {
+		last, done := s.relayRemoteEvents(w, fl, job, body)
+		body.Close()
+		if done {
+			return true
+		}
+		if last != "" {
+			lastID = last
+		}
+		// The backend went away mid-stream. One transparent
+		// reconnect-and-replay: wait for the front to re-place the job
+		// (or finish it), then resume after the last forwarded event id.
+		if reconnected {
+			s.relayLocalTail(w, r, fl, job)
+			return true
+		}
+		reconnected = true
+		body = s.reopenEvents(r, job, lastID)
+		if body == nil {
+			s.relayLocalTail(w, r, fl, job)
+			return true
+		}
+	}
+}
+
+// reopenEvents re-resolves the job's placement and reopens the remote
+// stream, polling while the front's failover machinery re-places the
+// job. Returns nil when the client disconnected, the reconnect window
+// closed, or the job went terminal on the front.
+func (s *Server) reopenEvents(r *http.Request, job *Job, lastID string) io.ReadCloser {
+	deadline := time.Now().Add(proxyReconnectWindow)
+	for time.Now().Before(deadline) {
+		if job.terminal() || r.Context().Err() != nil {
+			return nil
+		}
+		if bname, rid := job.placement(); bname != "" && rid != "" {
+			if b := s.router.BackendByName(bname); b != nil {
+				if body, err := s.router.OpenEvents(r.Context(), b, rid, lastID); err == nil {
+					return body
+				}
+			}
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-r.Context().Done():
+			return nil
+		}
+	}
+	return nil
+}
+
+// relayRemoteEvents forwards one remote SSE connection: frames are
+// parsed, the job id and result URL in each data payload rewritten to
+// the front's, and heartbeat comments passed through. It returns the
+// last forwarded event id and whether the stream is finished for good
+// (terminal event relayed, or the client went away); done=false means
+// the backend side failed mid-stream and a reconnect may resume it.
+func (s *Server) relayRemoteEvents(w http.ResponseWriter, fl http.Flusher, job *Job, body io.Reader) (lastID string, done bool) {
+	sc := bufio.NewScanner(body)
+	var id, event string
+	var data []byte
+	var comment bool
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Frame boundary: dispatch whatever accumulated.
+			if comment {
+				if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+					return lastID, true
+				}
+				fl.Flush()
+			}
+			if len(data) > 0 {
+				frame, terminal, err := rewriteEvent(job, id, event, data)
+				if err == nil {
+					if _, werr := w.Write(frame); werr != nil {
+						return lastID, true
+					}
+					fl.Flush()
+					if id != "" {
+						lastID = id
+					}
+					if terminal {
+						return lastID, true
+					}
+				}
+			}
+			id, event, data, comment = "", "", nil, false
+		case strings.HasPrefix(line, ":"):
+			comment = true
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+	// Remote side ended without a terminal event: backend died or
+	// closed mid-stream.
+	return lastID, false
+}
+
+// rewriteEvent re-addresses a backend jobEvent to the front's job id,
+// preserving the remote sequence number (which Last-Event-ID resume is
+// keyed on).
+func rewriteEvent(job *Job, id, event string, data []byte) (frame []byte, terminal bool, err error) {
+	var ev jobEvent
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return nil, false, err
+	}
+	ev.JobID = job.id
+	if ev.ResultURL != "" {
+		ev.ResultURL = "/v1/jobs/" + job.id + "/result"
+	}
+	out, err := json.Marshal(ev)
+	if err != nil {
+		return nil, false, err
+	}
+	if event == "" {
+		event = "state"
+	}
+	return []byte(fmt.Sprintf("id: %s\nevent: %s\ndata: %s\n\n", id, event, out)), ev.State.Terminal(), nil
+}
+
+// relayLocalTail ends a relayed stream from the front's own record
+// when the remote side is gone for good: it waits for the job's
+// terminal state (bounded by the client's patience — the job is
+// being re-run or degraded-locally right now) and emits the front's
+// terminal event so the subscriber still learns the job's fate on
+// this connection.
+func (s *Server) relayLocalTail(w http.ResponseWriter, r *http.Request, fl http.Flusher, job *Job) {
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		return
+	case <-s.baseCtx.Done():
+		return
+	}
+	for _, ev := range job.eventsAfter(0) {
+		if ev.State.Terminal() {
+			_ = writeSSE(w, ev)
+			fl.Flush()
+			return
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ksymmetry/internal/faulttest"
+	"ksymmetry/internal/pipeline"
+	"ksymmetry/internal/publish"
+	"ksymmetry/internal/shard"
+)
+
+// The sharded execution path (DESIGN.md §14): on a front with a
+// configured router, a worker does not run the pipeline itself — it
+// places the job on a backend chosen by rendezvous hashing over the
+// request fingerprint, drives the remote run (submit → await → fetch
+// result), and records the terminal state locally exactly as a local
+// run would. Every infrastructure failure walks the HRW candidate
+// list; when no backend is available the worker falls back to local
+// execution at reduced concurrency rather than failing the job.
+
+// remoteGrace is how much longer than the job's own budget the front
+// waits for the backend: the backend enforces the same budget through
+// its pipeline deadline (degrading exact → budgeted → 𝒯𝒟𝒱 inside it),
+// so its terminal answer must win this race — the grace only covers
+// queueing and network slack.
+const remoteGrace = 15 * time.Second
+
+// remoteKey derives the idempotency key the front uses on backends.
+// It is stable across front restarts (both halves come from the
+// journal), so a re-placement after a crash dedupes to the original
+// remote job; the fingerprint half keeps a front-id reuse after a
+// data-dir wipe from colliding with another tenant's work.
+func remoteKey(job *Job) string {
+	return "front/" + job.id + "/" + job.req.fingerprint
+}
+
+// remoteSubmitRequest renders a job as a backend submission. The
+// timeout is the job's full original budget, never the remaining one:
+// the backend folds the parameters into its idempotency fingerprint,
+// and a re-placement that sent a shrunken budget would be rejected as
+// a key reuse with different parameters (422) instead of deduping.
+func remoteSubmitRequest(job *Job) (shard.SubmitRequest, error) {
+	var buf bytes.Buffer
+	if err := job.req.graph.Write(&buf); err != nil {
+		return shard.SubmitRequest{}, err
+	}
+	return shard.SubmitRequest{
+		Key:     remoteKey(job),
+		Tenant:  job.req.tenant,
+		K:       job.req.k,
+		Minimal: job.req.minimal,
+		Mode:    string(job.req.startMode),
+		Timeout: job.req.timeout,
+		Graph:   buf.Bytes(),
+	}, nil
+}
+
+// runSharded drives one job through the backend ring. It returns true
+// when the job reached a terminal state (remotely run, remotely
+// failed, or front-canceled); false means no backend could take the
+// job and the caller should execute it locally in degraded mode.
+func (s *Server) runSharded(job *Job) bool {
+	ctx := s.baseCtx
+	if job.req.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.req.timeout+remoteGrace)
+		defer cancel()
+	}
+	req, err := remoteSubmitRequest(job)
+	if err != nil {
+		obsFailed.Inc()
+		sum := &pipeline.Summary{Error: fmt.Sprintf("shard: render submission: %v", err)}
+		job.finish(JobFailed, sum, nil)
+		s.journalTerminal(job, recFailed, sum)
+		return true
+	}
+	tried := 0
+	for _, b := range s.router.Candidates(job.req.fingerprint) {
+		if !b.Admit(time.Now()) {
+			continue
+		}
+		if tried > 0 {
+			obsShardFailovers.Inc()
+		}
+		tried++
+		handled, err := s.runOnBackend(ctx, job, b, req)
+		if handled {
+			return true
+		}
+		// Front-side cancellation beats any failover: a drain (baseCtx)
+		// leaves no terminal record so the job resumes next start; a
+		// spent budget fails the job like a local timeout would.
+		if s.baseCtx.Err() != nil {
+			obsCanceled.Inc()
+			job.finish(JobCanceled, &pipeline.Summary{Error: "server shut down while the job ran remotely; it will be retried on the next start"}, nil)
+			return true
+		}
+		if ctx.Err() != nil {
+			obsFailed.Inc()
+			sum := &pipeline.Summary{Error: fmt.Sprintf("shard: budget exhausted awaiting backend %s: %v", b.Name(), err)}
+			job.finish(JobFailed, sum, nil)
+			s.journalTerminal(job, recFailed, sum)
+			return true
+		}
+		// Otherwise: this backend is unavailable; try the next ring
+		// candidate.
+	}
+	return false
+}
+
+// runOnBackend places job on b and drives the remote run to a
+// terminal state. handled=true means the job finished (any way);
+// handled=false with err means b could not complete the job for
+// infrastructure reasons and the caller should fail over.
+func (s *Server) runOnBackend(ctx context.Context, job *Job, b *shard.Backend, req shard.SubmitRequest) (handled bool, err error) {
+	faulttest.Hit(faulttest.ShardBeforeSubmit)
+	st, err := s.router.Submit(ctx, b, req)
+	if err != nil {
+		if errors.Is(err, shard.ErrPermanent) {
+			// The backend understood the request and rejected it; every
+			// backend would. Fail the job, do not fail over.
+			obsFailed.Inc()
+			sum := &pipeline.Summary{Error: fmt.Sprintf("shard: backend rejected job: %v", err)}
+			job.finish(JobFailed, sum, nil)
+			s.journalTerminal(job, recFailed, sum)
+			return true, nil
+		}
+		return false, err
+	}
+	faulttest.Hit(faulttest.ShardAfterSubmit)
+	job.setPlacement(b.Name(), st.ID)
+	if s.store != nil {
+		// Placement is journaled best-effort: losing the record costs a
+		// re-placement after a restart (deduped by the idempotency key),
+		// not correctness.
+		if jerr := s.store.append(record{Type: recPlaced, ID: job.id, Backend: b.Name(), RemoteID: st.ID}); jerr != nil {
+			obsJournalErrors.Inc()
+		}
+	}
+	obsShardPlacements.Inc()
+	obsShardDegraded.Set(0)
+	return s.awaitRemote(ctx, job, b, st.ID)
+}
+
+// awaitRemote polls the backend until the remote job is terminal,
+// then mirrors the outcome into the local job.
+func (s *Server) awaitRemote(ctx context.Context, job *Job, b *shard.Backend, remoteID string) (handled bool, err error) {
+	poll := 50 * time.Millisecond
+	for {
+		st, err := s.router.Status(ctx, b, remoteID)
+		if err != nil {
+			// Unavailable (conn errors, 5xx, or a backend that lost the
+			// job): the placement is void, fail over.
+			return false, err
+		}
+		switch JobState(st.State) {
+		case JobDone:
+			rel, err := s.router.Result(ctx, b, remoteID)
+			if err != nil {
+				return false, err
+			}
+			sum := st.Summary
+			if sum == nil {
+				sum = &pipeline.Summary{}
+			}
+			return true, s.finishRemoteDone(job, sum, rel)
+		case JobFailed, JobQuarantined:
+			// The job itself failed — the pipeline rejected it or the
+			// backend quarantined it as poisoned. Re-running elsewhere
+			// would fail the same way.
+			sum := st.Summary
+			if sum == nil {
+				msg := st.Reason
+				if msg == "" {
+					msg = fmt.Sprintf("remote job %s on %s: %s", remoteID, b.Name(), st.State)
+				}
+				sum = &pipeline.Summary{Error: msg}
+			}
+			obsFailed.Inc()
+			job.finish(JobFailed, sum, nil)
+			s.journalTerminal(job, recFailed, sum)
+			return true, nil
+		case JobCanceled:
+			// The backend drained or restarted under the job: an
+			// infrastructure event, not a verdict on the job. Fail over;
+			// the idempotent re-submission makes the re-run safe.
+			return false, fmt.Errorf("backend %s canceled remote job %s (drain or restart)", b.Name(), remoteID)
+		}
+		if err := sleepRemote(ctx, poll); err != nil {
+			return false, err
+		}
+		if poll < 500*time.Millisecond {
+			poll *= 2
+		}
+	}
+}
+
+// finishRemoteDone lands a remote success locally with the same
+// artifact-before-done-record ordering the local path uses.
+func (s *Server) finishRemoteDone(job *Job, sum *pipeline.Summary, rel *publish.Release) error {
+	if s.store != nil {
+		if werr := rel.WriteFile(s.store.resultPath(job.id)); werr != nil {
+			obsFailed.Inc()
+			fsum := &pipeline.Summary{Error: fmt.Sprintf("persist result: %v", werr)}
+			job.finish(JobFailed, fsum, nil)
+			s.journalTerminal(job, recFailed, fsum)
+			return nil
+		}
+	}
+	obsCompleted.Inc()
+	job.finish(JobDone, sum, rel)
+	s.journalTerminal(job, recDone, sum)
+	return nil
+}
+
+// sleepRemote waits d or until ctx is done.
+func sleepRemote(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// acquireDegraded claims a degraded-mode execution slot, bounding how
+// many pipelines the front runs itself while the ring is down. It
+// returns a release func, or false if the server shut down first.
+func (s *Server) acquireDegraded() (func(), bool) {
+	select {
+	case s.degradedSem <- struct{}{}:
+		return func() { <-s.degradedSem }, true
+	case <-s.baseCtx.Done():
+		return nil, false
+	}
+}

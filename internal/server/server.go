@@ -49,8 +49,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ksymmetry/internal/faulttest"
 	"ksymmetry/internal/pipeline"
 	"ksymmetry/internal/publish"
+	"ksymmetry/internal/shard"
 )
 
 // Config configures the daemon. The zero value is usable: every field
@@ -121,6 +123,18 @@ type Config struct {
 	// rewritten while it holds fewer records. Default 1024.
 	CompactMinRecords int
 
+	// ShardRouter, when set, turns this server into a sharded front
+	// (DESIGN.md §14): workers place jobs on backends through the
+	// router instead of running the pipeline themselves, falling back
+	// to local execution when no backend is available. The server owns
+	// the router's lifecycle: New starts its probe loop, Shutdown stops
+	// it.
+	ShardRouter *shard.Router
+	// DegradedWorkers bounds how many pipelines the front runs itself
+	// while every backend is unavailable (graceful degradation at
+	// reduced capacity, not full local throughput). Default 1.
+	DegradedWorkers int
+
 	// runPipeline overrides the job executor (pipeline.Run). Test seam
 	// only: it must be in place before New so recovered jobs — which
 	// can reach a worker before New returns — run through it too.
@@ -170,6 +184,9 @@ func (c Config) withDefaults() Config {
 	if c.CompactMinRecords <= 0 {
 		c.CompactMinRecords = 1024
 	}
+	if c.DegradedWorkers <= 0 {
+		c.DegradedWorkers = 1
+	}
 	return c
 }
 
@@ -202,6 +219,11 @@ type Server struct {
 	store *store
 	// recovery is what the journal replay found, frozen at New.
 	recovery RecoveryStats
+
+	// router is the shard ring (nil for a plain single-process server);
+	// degradedSem bounds local execution while the ring is down.
+	router      *shard.Router
+	degradedSem chan struct{}
 
 	// sseSubs counts live /events subscribers across all jobs.
 	sseSubs atomic.Int64
@@ -264,10 +286,18 @@ func New(cfg Config) (*Server, error) {
 		tombs:       make(map[string]JobState),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.ShardRouter != nil {
+		s.router = cfg.ShardRouter
+		s.degradedSem = make(chan struct{}, cfg.DegradedWorkers)
+		s.router.Start()
+	}
 	if cfg.DataDir != "" {
 		st, rs, info, err := openStore(cfg.DataDir, cfg.CompactMinRecords)
 		if err != nil {
 			cancel()
+			if s.router != nil {
+				s.router.Stop()
+			}
 			return nil, err
 		}
 		s.store = st
@@ -568,12 +598,34 @@ func (s *Server) runJob(job *Job) {
 		}
 	}
 
+	var degraded string
+	if s.router != nil {
+		// Sharded front: place the job on a backend and drive it there.
+		// Only when no ring candidate can take it does the front execute
+		// locally — in degraded mode, at reduced concurrency, with the
+		// downgrade recorded in the summary.
+		if s.runSharded(job) {
+			return
+		}
+		obsShardDegraded.Set(1)
+		obsShardDegradedRuns.Inc()
+		release, ok := s.acquireDegraded()
+		if !ok {
+			obsCanceled.Inc()
+			job.finish(JobCanceled, &pipeline.Summary{Error: "server shut down before the job ran; it will be retried on the next start"}, nil)
+			return
+		}
+		defer release()
+		degraded = "server: no shard backend available; executed locally in degraded mode"
+	}
+
 	ctx := s.baseCtx
 	if job.req.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, job.req.timeout)
 		defer cancel()
 	}
+	faulttest.Hit(faulttest.ServerBeforeRun)
 	res, err := s.runPipeline(ctx, pipeline.Config{
 		Graph:         job.req.graph,
 		K:             job.req.k,
@@ -583,6 +635,9 @@ func (s *Server) runJob(job *Job) {
 		SearchWorkers: s.cfg.SearchWorkers,
 	})
 	sum := pipeline.Summarize(res, err)
+	if degraded != "" && sum != nil {
+		sum.Downgrades = append(sum.Downgrades, degraded)
+	}
 	if err != nil {
 		// Distinguish "the server is draining" from "the job failed":
 		// a cancellation that arrived from baseCtx is the server's
@@ -676,6 +731,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Release the base context either way (the graceful path never
 	// fired it).
 	s.cancelJobs()
+	if s.router != nil {
+		// The workers are gone; nothing calls through the router now.
+		s.router.Stop()
+	}
 	if s.store != nil {
 		// All appenders (workers, retry goroutines) are in s.wg and
 		// have exited; the journal can close.

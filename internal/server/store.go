@@ -50,6 +50,10 @@ const (
 	recQuarantined = "quarantined"
 	recSnap        = "snap"
 	recTomb        = "tomb"
+	// recPlaced records a sharded job's backend placement (DESIGN.md
+	// §14): which backend owns the remote run and under which remote
+	// job id, so proxying and re-placement survive a front restart.
+	recPlaced = "placed"
 )
 
 // record is the JSON payload of one journal entry.
@@ -86,6 +90,11 @@ type record struct {
 	Summary *pipeline.Summary `json:"summary,omitempty"`
 	// Reason documents why a job was quarantined or canceled.
 	Reason string `json:"reason,omitempty"`
+
+	// Backend / RemoteID record a sharded job's placement (placed/snap):
+	// the owning backend's name and the job id it assigned.
+	Backend  string `json:"backend,omitempty"`
+	RemoteID string `json:"remote_id,omitempty"`
 }
 
 // store owns the on-disk half of the server. Its mutex serializes
@@ -109,6 +118,9 @@ type replayJob struct {
 	state    JobState
 	summary  *pipeline.Summary
 	reason   string
+	// backend / remoteID restore the last journaled shard placement.
+	backend  string
+	remoteID string
 }
 
 // replayState is the journal reduced to per-job state, in first-seen
@@ -154,9 +166,18 @@ func (rs *replayState) apply(rec record) error {
 			rj.state = JobState(rec.State)
 			rj.summary = rec.Summary
 			rj.reason = rec.Reason
+			rj.backend = rec.Backend
+			rj.remoteID = rec.RemoteID
 		}
 		rs.jobs[rec.ID] = rj
 		rs.order = append(rs.order, rec.ID)
+	case recPlaced:
+		rj, ok := rs.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("server: journal places unaccepted job %s", rec.ID)
+		}
+		rj.backend = rec.Backend
+		rj.remoteID = rec.RemoteID
 	case recRunning:
 		rj, ok := rs.jobs[rec.ID]
 		if !ok {
@@ -347,6 +368,8 @@ func snapRecord(j *Job) record {
 		Attempt:     j.attempt,
 		Summary:     j.summary,
 		Reason:      j.reason,
+		Backend:     j.backend,
+		RemoteID:    j.remoteID,
 	}
 	switch j.state {
 	case JobDone, JobFailed, JobCanceled, JobQuarantined:
@@ -375,6 +398,8 @@ func (s *Server) jobFromReplay(id string, rj *replayJob) *Job {
 		idemKey:   rj.rec.Idem,
 		submitted: time.Unix(0, rj.rec.SubmittedNS),
 		attempt:   rj.attempts,
+		backend:   rj.backend,
+		remoteID:  rj.remoteID,
 		done:      make(chan struct{}),
 		req: jobRequest{
 			k:           rj.rec.K,

@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"ksymmetry/internal/pipeline"
+	"ksymmetry/internal/publish"
+)
+
+// The retrying client half of the router: every method speaks the
+// plain ksymd HTTP API to one backend, retries retryable failures
+// (connection errors, 5xx, 429) under capped backoff with jitter, and
+// feeds every outcome into the backend's breaker. Non-retryable
+// failures (4xx request bugs) are returned wrapped in ErrPermanent so
+// the caller fails the job instead of failing over — every backend
+// would reject the same request.
+
+// ErrPermanent wraps failures that retrying or failing over cannot
+// fix: the backend understood the request and rejected it.
+var ErrPermanent = errors.New("shard: permanent backend rejection")
+
+// ErrUnavailable wraps failures that exhausted the retry budget
+// against one backend: the caller should fail over to the next ring
+// candidate (or degrade to local execution).
+var ErrUnavailable = errors.New("shard: backend unavailable")
+
+// SubmitRequest is one job placement: the validated parameters plus
+// the canonical edge-list bytes of the request graph.
+type SubmitRequest struct {
+	// Key is the idempotency key the backend dedupes on. The front
+	// derives it from its own job id plus the request fingerprint, so
+	// a re-placement after a front restart finds the original backend
+	// job instead of re-running the search.
+	Key     string
+	Tenant  string
+	K       int
+	Minimal bool
+	Mode    string
+	// Timeout is the job's full original budget — not the remaining
+	// one. The backend folds the timeout into its idempotency
+	// fingerprint, so a re-placement must resend identical parameters;
+	// the front enforces the remaining budget on its own side of the
+	// wire.
+	Timeout time.Duration
+	// Graph is the canonical edge-list body (graph.Write bytes).
+	Graph []byte
+}
+
+// JobStatus is the backend's job-status JSON (the fields the front
+// consumes; the backend may send more).
+type JobStatus struct {
+	ID          string            `json:"id"`
+	State       string            `json:"state"`
+	Attempt     int               `json:"attempt,omitempty"`
+	Reason      string            `json:"reason,omitempty"`
+	Summary     *pipeline.Summary `json:"summary,omitempty"`
+	SubmittedAt time.Time         `json:"submitted_at"`
+	StartedAt   *time.Time        `json:"started_at,omitempty"`
+	FinishedAt  *time.Time        `json:"finished_at,omitempty"`
+}
+
+// apiError is the backend's JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// drainClose discards and closes a response body so the connection can
+// be reused.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// callCtx derives one HTTP call's deadline: the minimum of the
+// router's CallTimeout and the caller's context — which carries the
+// job's remaining budget.
+func (r *Router) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, r.cfg.CallTimeout)
+}
+
+// retryable reports whether a response status should be retried
+// against the same backend.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// errBody extracts the backend's JSON error message (falling back to
+// the status text).
+func errBody(resp *http.Response) string {
+	var ae apiError
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+		return ae.Error
+	}
+	return http.StatusText(resp.StatusCode)
+}
+
+// retry runs one logical call against b up to RetryMax times, backing
+// off between attempts and recording every outcome in the breaker.
+// call returns (done, err): done=true stops the loop (success, or a
+// permanent failure). A Retry-After hint from the backend stretches
+// the backoff when it is longer.
+func (r *Router) retry(ctx context.Context, b *Backend, call func(context.Context) (bool, time.Duration, error)) error {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.RetryMax; attempt++ {
+		if attempt > 0 {
+			obsRetries.Inc()
+			wait := r.backoff(attempt - 1)
+			if hinted, ok := lastErr.(*retryHintError); ok && hinted.after > wait {
+				wait = hinted.after
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
+		}
+		cctx, cancel := r.callCtx(ctx)
+		done, hint, err := call(cctx)
+		cancel()
+		if done {
+			if err == nil {
+				b.observeSuccess()
+			}
+			return err
+		}
+		// Retryable failure: feed the breaker and go around, unless the
+		// job's own budget is gone.
+		r.observe(b, err)
+		obsCallFailures.Inc()
+		lastErr = err
+		if hint > 0 {
+			lastErr = &retryHintError{err: err, after: hint}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("%w: %s: retry budget spent: %v", ErrUnavailable, b.name, lastErr)
+}
+
+// retryHintError carries a backend's Retry-After hint alongside the
+// failure it decorated.
+type retryHintError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryHintError) Error() string { return e.err.Error() }
+func (e *retryHintError) Unwrap() error { return e.err }
+
+// retryAfterHint parses a 429's Retry-After header (seconds form).
+func retryAfterHint(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 0
+}
+
+// Submit places req on b: POST /v1/anonymize with the front's
+// idempotency key. Safe to call repeatedly with the same req — the
+// backend dedupes on the key and answers 200 with the existing job, so
+// retrying a submission whose response was lost never re-runs a
+// search.
+func (r *Router) Submit(ctx context.Context, b *Backend, req SubmitRequest) (JobStatus, error) {
+	q := url.Values{}
+	q.Set("k", strconv.Itoa(req.K))
+	if req.Timeout > 0 {
+		q.Set("timeout", req.Timeout.String())
+	}
+	if req.Minimal {
+		q.Set("minimal", "true")
+	}
+	if req.Mode != "" {
+		q.Set("mode", req.Mode)
+	}
+	target := b.base + "/v1/anonymize?" + q.Encode()
+
+	var st JobStatus
+	err := r.retry(ctx, b, func(cctx context.Context) (bool, time.Duration, error) {
+		hreq, err := http.NewRequestWithContext(cctx, http.MethodPost, target, bytes.NewReader(req.Graph))
+		if err != nil {
+			return true, 0, err
+		}
+		hreq.Header.Set("Idempotency-Key", req.Key)
+		if req.Tenant != "" {
+			hreq.Header.Set("X-Tenant", req.Tenant)
+		}
+		hreq.Header.Set("Content-Type", "text/plain")
+		resp, err := r.client.Do(hreq)
+		if err != nil {
+			return false, 0, fmt.Errorf("submit %s: %w", b.name, err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				return false, 0, fmt.Errorf("submit %s: decoding response: %w", b.name, err)
+			}
+			return true, 0, nil
+		case retryable(resp.StatusCode):
+			hint := retryAfterHint(resp)
+			return false, hint, fmt.Errorf("submit %s: %d: %s", b.name, resp.StatusCode, errBody(resp))
+		default:
+			// 4xx: the backend rejected the request itself. Every
+			// backend would; do not fail over.
+			return true, 0, fmt.Errorf("%w: submit %s: %d: %s", ErrPermanent, b.name, resp.StatusCode, errBody(resp))
+		}
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches the backend's view of job id, retrying transient
+// failures.
+func (r *Router) Status(ctx context.Context, b *Backend, id string) (JobStatus, error) {
+	var st JobStatus
+	err := r.retry(ctx, b, func(cctx context.Context) (bool, time.Duration, error) {
+		hreq, err := http.NewRequestWithContext(cctx, http.MethodGet, b.base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return true, 0, err
+		}
+		resp, err := r.client.Do(hreq)
+		if err != nil {
+			return false, 0, fmt.Errorf("status %s/%s: %w", b.name, id, err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				return false, 0, fmt.Errorf("status %s/%s: decoding: %w", b.name, id, err)
+			}
+			return true, 0, nil
+		case retryable(resp.StatusCode):
+			return false, retryAfterHint(resp), fmt.Errorf("status %s/%s: %d: %s", b.name, id, resp.StatusCode, errBody(resp))
+		default:
+			// 404/410: the backend no longer knows the job (restarted
+			// without its journal, or evicted it). The placement is
+			// void — the caller re-places, and the idempotent submit
+			// makes the re-run safe. Unavailable, not permanent.
+			return true, 0, fmt.Errorf("%w: status %s/%s: %d: %s", ErrUnavailable, b.name, id, resp.StatusCode, errBody(resp))
+		}
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Result fetches a done job's release artifact from b and parses it.
+func (r *Router) Result(ctx context.Context, b *Backend, id string) (*publish.Release, error) {
+	var rel *publish.Release
+	err := r.retry(ctx, b, func(cctx context.Context) (bool, time.Duration, error) {
+		hreq, err := http.NewRequestWithContext(cctx, http.MethodGet, b.base+"/v1/jobs/"+id+"/result", nil)
+		if err != nil {
+			return true, 0, err
+		}
+		resp, err := r.client.Do(hreq)
+		if err != nil {
+			return false, 0, fmt.Errorf("result %s/%s: %w", b.name, id, err)
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			got, err := publish.Read(resp.Body)
+			if err != nil {
+				// A truncated transfer (backend died mid-response) is
+				// transient; retry re-fetches the whole artifact.
+				return false, 0, fmt.Errorf("result %s/%s: parsing: %w", b.name, id, err)
+			}
+			rel = got
+			return true, 0, nil
+		case retryable(resp.StatusCode):
+			return false, retryAfterHint(resp), fmt.Errorf("result %s/%s: %d: %s", b.name, id, resp.StatusCode, errBody(resp))
+		default:
+			return true, 0, fmt.Errorf("%w: result %s/%s: %d: %s", ErrUnavailable, b.name, id, resp.StatusCode, errBody(resp))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// OpenEvents opens the backend's SSE stream for job id, resuming after
+// lastEventID when non-empty. The caller owns the returned body; this
+// is a single attempt — the proxy layer implements the
+// reconnect-and-replay policy, because reconnecting may need to
+// re-resolve the owning backend after a failover.
+func (r *Router) OpenEvents(ctx context.Context, b *Backend, id, lastEventID string) (io.ReadCloser, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	if lastEventID != "" {
+		hreq.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		r.observe(b, err)
+		return nil, fmt.Errorf("%w: events %s/%s: %v", ErrUnavailable, b.name, id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := errBody(resp)
+		drainClose(resp)
+		return nil, fmt.Errorf("%w: events %s/%s: %d: %s", ErrUnavailable, b.name, id, resp.StatusCode, msg)
+	}
+	return resp.Body, nil
+}

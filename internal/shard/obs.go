@@ -1,0 +1,26 @@
+package shard
+
+import "ksymmetry/internal/obs"
+
+// The "shard" scope counts the router's health and retry machinery
+// (DESIGN.md §14). No-ops until obs.Enable, like every obs hook.
+var (
+	shardScope = obs.Default.Scope("shard")
+	// obsBackends is the configured ring size (fixed at startup).
+	obsBackends = shardScope.Gauge("backends")
+	// obsProbes / obsProbeFailures count active /readyz health probes
+	// and the ones that failed (connect error or non-200).
+	obsProbes        = shardScope.Counter("probes")
+	obsProbeFailures = shardScope.Counter("probe_failures")
+	// Breaker transitions: opened counts closed→open and re-opens from
+	// a failed half-open trial; half_open counts cooldown expiries that
+	// admitted a trial; closed counts recoveries.
+	obsBreakerOpened   = shardScope.Counter("breaker_opened")
+	obsBreakerHalfOpen = shardScope.Counter("breaker_half_open")
+	obsBreakerClosed   = shardScope.Counter("breaker_closed")
+	// obsRetries counts per-call retry attempts after the first;
+	// obsCallFailures counts individual failed call attempts (a call
+	// that succeeds on attempt 3 logs 2 of each).
+	obsRetries      = shardScope.Counter("retries")
+	obsCallFailures = shardScope.Counter("call_failures")
+)

@@ -1,0 +1,305 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes the router's robustness machinery. The zero value is
+// usable: every field has a production-shaped default.
+type Config struct {
+	// ProbeInterval is the period of the active /readyz health probes.
+	// Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe call. Default 1s.
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's breaker. Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an opened breaker rejects placements
+	// before admitting a half-open probe; it doubles on each failed
+	// trial, capped at BreakerMaxCooldown. Defaults 2s / 30s.
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// RetryMax is the per-backend attempt budget of one Submit or
+	// Status call; connection errors and 5xx/429 retry under capped
+	// exponential backoff with jitter until it is spent. Default 3.
+	RetryMax int
+	// RetryBase / RetryCap shape the backoff: attempt n waits
+	// RetryBase·2ⁿ (±50% jitter), capped at RetryCap. Defaults
+	// 100ms / 2s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// CallTimeout bounds one HTTP call (submit, status, result). The
+	// effective deadline is the minimum of this and the caller's
+	// context — per-call deadlines derive from the job's remaining
+	// budget. Default 15s.
+	CallTimeout time.Duration
+
+	// Transport overrides the HTTP transport (tests). Nil uses a
+	// dedicated transport with conservative connection pooling.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BreakerMaxCooldown <= 0 {
+		c.BreakerMaxCooldown = 30 * time.Second
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// Router owns the backend ring: placement, health probing, and the
+// retrying HTTP client the front uses to drive remote jobs.
+type Router struct {
+	cfg      Config
+	backends []*Backend
+	client   *http.Client
+
+	// rng feeds the backoff jitter. Timing jitter is deliberately
+	// non-deterministic — the determinism discipline (DESIGN.md §7)
+	// covers anonymization results, which do not depend on schedule.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewRouter builds a router over the given backend addresses
+// (host:port or full http:// URLs). The probe loop does not run until
+// Start.
+func NewRouter(addrs []string, cfg Config) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: no backend addresses")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		stop: make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		name := strings.TrimPrefix(strings.TrimPrefix(a, "http://"), "https://")
+		name = strings.TrimSuffix(name, "/")
+		if name == "" || seen[name] {
+			return nil, fmt.Errorf("shard: empty or duplicate backend address %q", a)
+		}
+		seen[name] = true
+		base := a
+		if !strings.Contains(a, "://") {
+			base = "http://" + name
+		}
+		r.backends = append(r.backends, &Backend{name: name, base: strings.TrimSuffix(base, "/")})
+	}
+	if len(r.backends) == 0 {
+		return nil, fmt.Errorf("shard: no backend addresses")
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &http.Transport{MaxIdleConnsPerHost: 4, IdleConnTimeout: 90 * time.Second}
+	}
+	r.client = &http.Client{Transport: tr}
+	obsBackends.Set(int64(len(r.backends)))
+	return r, nil
+}
+
+// Backends returns the ring members (fixed after construction; only
+// their health state changes).
+func (r *Router) Backends() []*Backend { return r.backends }
+
+// BackendByName resolves a journaled placement label back to its ring
+// member (nil when the ring no longer has a backend of that name).
+func (r *Router) BackendByName(name string) *Backend {
+	for _, b := range r.backends {
+		if b.name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Candidates returns every backend in HRW preference order for key:
+// index 0 is the owner, the rest the failover order. Health is not
+// filtered here — the caller pairs each candidate with Admit() so the
+// half-open trial accounting stays with the actual placement attempt.
+func (r *Router) Candidates(key string) []*Backend {
+	return rank(r.backends, key)
+}
+
+// Degraded reports whether no backend currently admits placements —
+// the condition under which the front falls back to local execution.
+// A half-open backend counts as available (it admits a trial) but is
+// not consumed by asking.
+func (r *Router) Degraded() bool {
+	now := time.Now()
+	for _, b := range r.backends {
+		b.mu.Lock()
+		b.refreshLocked(now)
+		st, trial := b.state, b.trialInFlight
+		b.mu.Unlock()
+		if st == BreakerClosed || (st == BreakerHalfOpen && !trial) {
+			return false
+		}
+	}
+	return true
+}
+
+// Start launches the periodic health-probe loop. Idempotent.
+func (r *Router) Start() {
+	r.startOnce.Do(func() {
+		r.wg.Add(1)
+		go r.probeLoop()
+	})
+}
+
+// Stop halts the probe loop and waits for it to exit. Idempotent; safe
+// to call even if Start never ran.
+func (r *Router) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.client.CloseIdleConnections()
+}
+
+// probeLoop probes every backend each ProbeInterval. Probes double as
+// the breaker's half-open trials: a backend whose cooldown elapsed is
+// probed, and one success closes the breaker without risking a real
+// job on it first.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		// Probe immediately on start, then on each tick, so a front
+		// that starts before its backends converges within one
+		// interval of them coming up.
+		r.ProbeAll()
+		select {
+		case <-ticker.C:
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// ProbeAll probes every backend once, concurrently, and returns when
+// all probes are done. Exposed so tests and the CLI can force a
+// convergence point instead of sleeping.
+func (r *Router) ProbeAll() {
+	var wg sync.WaitGroup
+	for _, b := range r.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			r.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe checks one backend's /readyz. An open breaker still inside its
+// cooldown is skipped — re-probing a known-dead backend every interval
+// would defeat the cooldown. A half-open backend is probed: that probe
+// IS the trial.
+func (r *Router) probe(b *Backend) {
+	b.mu.Lock()
+	b.refreshLocked(time.Now())
+	skip := b.state == BreakerOpen || (b.state == BreakerHalfOpen && b.trialInFlight)
+	if !skip && b.state == BreakerHalfOpen {
+		b.trialInFlight = true
+	}
+	b.mu.Unlock()
+	if skip {
+		return
+	}
+	obsProbes.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		r.observe(b, err)
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		obsProbeFailures.Inc()
+		r.observe(b, fmt.Errorf("probe: %w", err))
+		return
+	}
+	drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		// A draining backend answers readyz 503: it is alive but must
+		// not take new placements — exactly what an open breaker means.
+		obsProbeFailures.Inc()
+		r.observe(b, fmt.Errorf("probe: readyz %d", resp.StatusCode))
+		return
+	}
+	b.observeSuccess()
+}
+
+// observe feeds one failure into the backend's breaker with the
+// router's thresholds.
+func (r *Router) observe(b *Backend, err error) {
+	b.observeFailure(err, time.Now(), r.cfg.BreakerThreshold, r.cfg.BreakerCooldown, r.cfg.BreakerMaxCooldown)
+}
+
+// backoff returns the capped exponential delay before retry attempt
+// n (0-based), with ±50% jitter so a fleet of retries does not
+// stampede in lockstep.
+func (r *Router) backoff(attempt int) time.Duration {
+	d := r.cfg.RetryBase << uint(attempt)
+	if d > r.cfg.RetryCap || d <= 0 {
+		d = r.cfg.RetryCap
+	}
+	r.rngMu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)))
+	r.rngMu.Unlock()
+	return d/2 + j/2 // in [d/2, d)
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

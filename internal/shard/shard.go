@@ -1,0 +1,227 @@
+// Package shard is the routing layer that turns one front ksymd plus N
+// backend ksymd workers into a sharded anonymization service
+// (DESIGN.md §14). The front places each accepted job on a backend via
+// rendezvous (highest-random-weight) hashing keyed on the job's request
+// fingerprint, so a tenant's idempotent resubmissions keep landing on
+// the same shard while the ring is stable, and removing one backend
+// re-homes only that backend's keys.
+//
+// Robustness is the point of the package, not the hashing:
+//
+//   - Health: every backend carries a state machine driven by periodic
+//     GET /readyz probes and by passive observation of call errors.
+//   - Circuit breaking: consecutive failures open a per-backend
+//     breaker; while open the backend takes no placements. After a
+//     cooldown the breaker admits a half-open probe, and one success
+//     closes it again. Repeated half-open failures re-open with a
+//     doubled (capped) cooldown.
+//   - Retry: submissions and status polls retry on connection errors
+//     and 5xx/429 with capped exponential backoff plus jitter; per-call
+//     deadlines are the minimum of the router's call timeout and the
+//     job's remaining budget (the caller's context).
+//   - Failover: the candidate list is the full HRW order, so when the
+//     owning backend is down the caller re-places on the next ring
+//     candidate. When no candidate is available the router reports
+//     itself degraded and the front falls back to local execution.
+//
+// The package deliberately speaks the plain ksymd HTTP API — a backend
+// is just an ordinary ksymd process; there is no private protocol to
+// version or to keep compatible.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState is a backend's circuit-breaker position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the backend is taking traffic normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures tripped the breaker; the
+	// backend takes no placements until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one trial call (or
+	// active probe) is admitted to decide between closing and
+	// re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// Backend is one ksymd worker in the ring: its address, and the health
+// / breaker state the router maintains for it.
+type Backend struct {
+	// name is the backend's host:port — the HRW hashing identity and
+	// the stable label placement records journal.
+	name string
+	// base is the backend's URL prefix ("http://host:port").
+	base string
+
+	mu sync.Mutex
+	// state / fails / openedAt / cooldown are the breaker: fails counts
+	// consecutive observed failures (probe or call); reaching the
+	// router's threshold opens the breaker for cooldown, which doubles
+	// on each half-open failure up to the router's cap.
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	cooldown time.Duration
+	// trialInFlight limits the half-open state to one concurrent trial.
+	trialInFlight bool
+	// lastErr is the most recent observed failure, for diagnostics.
+	lastErr string
+}
+
+// Name returns the backend's host:port identity.
+func (b *Backend) Name() string { return b.name }
+
+// URL returns the backend's base URL ("http://host:port").
+func (b *Backend) URL() string { return b.base }
+
+// State returns the backend's current breaker state, refreshing the
+// open→half-open transition first so callers never see a stale "open"
+// whose cooldown has already elapsed.
+func (b *Backend) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refreshLocked(time.Now())
+	return b.state
+}
+
+// LastErr returns the most recent observed failure ("" when healthy).
+func (b *Backend) LastErr() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// refreshLocked moves an open breaker whose cooldown has elapsed to
+// half-open. Caller holds b.mu.
+func (b *Backend) refreshLocked(now time.Time) {
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.trialInFlight = false
+		obsBreakerHalfOpen.Inc()
+	}
+}
+
+// admit reports whether a call may be placed on the backend now. In
+// the half-open state only one trial is admitted at a time; the trial's
+// outcome (observeSuccess/observeFailure) decides the breaker's fate.
+func (b *Backend) Admit(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refreshLocked(now)
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.trialInFlight {
+			return false
+		}
+		b.trialInFlight = true
+		return true
+	default: // BreakerOpen
+		return false
+	}
+}
+
+// observeSuccess records a successful probe or call: the breaker
+// closes, the failure streak and cooldown reset.
+func (b *Backend) observeSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		obsBreakerClosed.Inc()
+	}
+	b.state = BreakerClosed
+	b.fails = 0
+	b.cooldown = 0
+	b.trialInFlight = false
+	b.lastErr = ""
+}
+
+// observeFailure records a failed probe or call against the breaker:
+// threshold consecutive failures open it for cooldown; a failed
+// half-open trial re-opens it with the cooldown doubled, capped at
+// maxCooldown.
+func (b *Backend) observeFailure(err error, now time.Time, threshold int, cooldown, maxCooldown time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	b.trialInFlight = false
+	switch {
+	case b.state == BreakerHalfOpen:
+		// The trial failed: back to open, with a longer cooldown so a
+		// flapping backend is probed less and less often.
+		next := b.cooldown * 2
+		if next > maxCooldown {
+			next = maxCooldown
+		}
+		if next < cooldown {
+			next = cooldown
+		}
+		b.open(now, next)
+	case b.state == BreakerClosed && b.fails >= threshold:
+		b.open(now, cooldown)
+	}
+}
+
+// open trips the breaker. Caller holds b.mu.
+func (b *Backend) open(now time.Time, cooldown time.Duration) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.cooldown = cooldown
+	obsBreakerOpened.Inc()
+}
+
+// hrwScore is the rendezvous weight of (key, backend): a 64-bit FNV-1a
+// over the key, a separator, and the backend name. Each backend scores
+// every key independently, so adding or removing a backend moves only
+// the keys whose top scorer changed — about 1/n of them.
+func hrwScore(key, backend string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(backend))
+	return h.Sum64()
+}
+
+// rank returns backends ordered by descending HRW score for key (ties
+// broken by name so the order is total and deterministic). Index 0 is
+// the owner; the rest are the failover candidates in preference order.
+func rank(backends []*Backend, key string) []*Backend {
+	out := make([]*Backend, len(backends))
+	copy(out, backends)
+	score := make(map[*Backend]uint64, len(out))
+	for _, b := range out {
+		score[b] = hrwScore(key, b.name)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score[out[i]], score[out[j]]
+		if si != sj {
+			return si > sj
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

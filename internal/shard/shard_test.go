@@ -1,0 +1,405 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustRouter(t *testing.T, addrs []string, cfg Config) *Router {
+	t.Helper()
+	r, err := NewRouter(addrs, cfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	t.Cleanup(r.Stop)
+	return r
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(nil, Config{}); err == nil {
+		t.Fatal("expected error for empty address list")
+	}
+	if _, err := NewRouter([]string{" ", ""}, Config{}); err == nil {
+		t.Fatal("expected error for blank addresses")
+	}
+	if _, err := NewRouter([]string{"a:1", "http://a:1"}, Config{}); err == nil {
+		t.Fatal("expected error for duplicate backend (bare vs http:// form)")
+	}
+	r := mustRouter(t, []string{"a:1", " http://b:2/ "}, Config{})
+	if got := len(r.Backends()); got != 2 {
+		t.Fatalf("backends = %d, want 2", got)
+	}
+	if r.Backends()[1].Name() != "b:2" || r.Backends()[1].URL() != "http://b:2" {
+		t.Fatalf("normalized backend = %q %q", r.Backends()[1].Name(), r.Backends()[1].URL())
+	}
+}
+
+// HRW placement must be deterministic and stable: the same key ranks
+// the same order every time, and removing one backend re-homes only
+// the keys that backend owned.
+func TestRankStableAndMinimalDisruption(t *testing.T) {
+	names := []string{"a:1", "b:2", "c:3", "d:4"}
+	var backends []*Backend
+	for _, n := range names {
+		backends = append(backends, &Backend{name: n})
+	}
+	owner := func(bs []*Backend, key string) string { return rank(bs, key)[0].name }
+
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fingerprint-%03d", i)
+	}
+	for _, k := range keys {
+		first := rank(backends, k)
+		second := rank(backends, k)
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("rank(%q) not deterministic", k)
+			}
+		}
+	}
+
+	// Every backend should own a non-trivial share of keys.
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[owner(backends, k)]++
+	}
+	for _, n := range names {
+		if counts[n] < len(keys)/len(names)/4 {
+			t.Fatalf("backend %s owns only %d/%d keys — distribution badly skewed: %v", n, counts[n], len(keys), counts)
+		}
+	}
+
+	// Remove d:4; only d:4's keys may change owner.
+	survivors := backends[:3]
+	moved := 0
+	for _, k := range keys {
+		before := owner(backends, k)
+		after := owner(survivors, k)
+		if before == "d:4" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s→%s though its owner survived", k, before, after)
+		}
+	}
+	if moved != counts["d:4"] {
+		t.Fatalf("moved %d keys, expected exactly d:4's %d", moved, counts["d:4"])
+	}
+}
+
+// The failover order for a key must skip the owner and continue
+// deterministically.
+func TestCandidatesOrder(t *testing.T) {
+	r := mustRouter(t, []string{"a:1", "b:2", "c:3"}, Config{})
+	cands := r.Candidates("some-key")
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(cands))
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if seen[c.Name()] {
+			t.Fatalf("duplicate candidate %s", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}
+
+// Breaker state machine: closed → open after threshold consecutive
+// failures → half-open after cooldown → closed on success; a failed
+// half-open trial re-opens with doubled cooldown.
+func TestBreakerLifecycle(t *testing.T) {
+	// State() refreshes against the real clock, so the synthetic
+	// timeline starts at time.Now() and only ever moves into the
+	// future — the real clock can never outrun it mid-test.
+	b := &Backend{name: "x:1"}
+	now := time.Now()
+	threshold, cool, maxCool := 3, 2*time.Second, 8*time.Second
+	fail := func(at time.Time) { b.observeFailure(errors.New("boom"), at, threshold, cool, maxCool) }
+
+	if !b.Admit(now) {
+		t.Fatal("fresh backend must admit")
+	}
+	fail(now)
+	fail(now)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	fail(now)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", threshold, st)
+	}
+	if b.Admit(now.Add(cool - time.Millisecond)) {
+		t.Fatal("open breaker admitted inside cooldown")
+	}
+
+	// Cooldown elapses → half-open, exactly one trial.
+	at := now.Add(cool)
+	if !b.Admit(at) {
+		t.Fatal("half-open breaker must admit one trial")
+	}
+	if b.Admit(at) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// Trial fails → re-open with doubled cooldown.
+	fail(at)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", st)
+	}
+	if b.Admit(at.Add(2*cool - time.Millisecond)) {
+		t.Fatal("re-opened breaker honored old cooldown, want doubled")
+	}
+	at = at.Add(2 * cool)
+	if !b.Admit(at) {
+		t.Fatal("doubled cooldown elapsed, must admit trial")
+	}
+	fail(at) // cooldown 4s
+	at = at.Add(4 * cool)
+	if !b.Admit(at) {
+		t.Fatal("third trial not admitted")
+	}
+	fail(at) // would be 8*cool=16s but capped at 8s
+	at = at.Add(maxCool)
+	if !b.Admit(at) {
+		t.Fatal("capped cooldown elapsed, must admit trial")
+	}
+
+	// Trial succeeds → closed, streak and cooldown reset.
+	b.observeSuccess()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", st)
+	}
+	fail(at)
+	fail(at)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("failure streak not reset by success: %v", st)
+	}
+	if b.LastErr() == "" {
+		t.Fatal("lastErr empty after failure")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	r := mustRouter(t, []string{"a:1"}, Config{RetryBase: 100 * time.Millisecond, RetryCap: 2 * time.Second})
+	for attempt := 0; attempt < 10; attempt++ {
+		want := 100 * time.Millisecond << uint(attempt)
+		if want > 2*time.Second || want <= 0 {
+			want = 2 * time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := r.backoff(attempt)
+			if d < want/2 || d >= want {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v)", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+// A dead backend's probes must open its breaker; once the backend
+// answers /readyz again the half-open probe closes it.
+func TestProbeDrivesBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/readyz" {
+			http.NotFound(w, req)
+			return
+		}
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	cfg := Config{BreakerThreshold: 2, BreakerCooldown: 10 * time.Millisecond, ProbeInterval: time.Hour}
+	r := mustRouter(t, []string{ts.URL}, cfg)
+	b := r.Backends()[0]
+
+	r.ProbeAll()
+	r.ProbeAll()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after 2 failed probes = %v, want open", st)
+	}
+	if !r.Degraded() {
+		t.Fatal("single open backend must report degraded")
+	}
+
+	healthy.Store(true)
+	time.Sleep(cfg.BreakerCooldown)
+	r.ProbeAll() // half-open trial probe
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after recovery probe = %v, want closed", st)
+	}
+	if r.Degraded() {
+		t.Fatal("healthy backend must not report degraded")
+	}
+}
+
+// Submit must retry connection errors and 5xx, then succeed; 4xx must
+// fail permanently without burning the retry budget.
+func TestSubmitRetryClassification(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := calls.Add(1)
+		if n <= 2 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"7","state":"queued","submitted_at":"2026-01-01T00:00:00Z"}`)
+	}))
+	defer ts.Close()
+
+	r := mustRouter(t, []string{ts.URL}, Config{RetryMax: 3, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond})
+	b := r.Backends()[0]
+	st, err := r.Submit(context.Background(), b, SubmitRequest{Key: "key", K: 2, Graph: []byte("0 1\n")})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID != "7" || st.State != "queued" {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("calls = %d, want 3 (2 retries)", got)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker = %v after eventual success, want closed", b.State())
+	}
+
+	// Permanent rejection: one call, ErrPermanent, breaker untouched.
+	calls.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `{"error":"k out of range"}`)
+	}))
+	defer ts2.Close()
+	r2 := mustRouter(t, []string{ts2.URL}, Config{RetryMax: 3, RetryBase: time.Millisecond})
+	_, err = r2.Submit(context.Background(), r2.Backends()[0], SubmitRequest{Key: "key", K: 0})
+	if !errors.Is(err, ErrPermanent) {
+		t.Fatalf("err = %v, want ErrPermanent", err)
+	}
+	if !strings.Contains(err.Error(), "k out of range") {
+		t.Fatalf("err %q lost the backend message", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on 4xx)", got)
+	}
+}
+
+// A backend that stays down must exhaust the retry budget and surface
+// ErrUnavailable so the caller fails over.
+func TestSubmitUnavailableAfterRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {}))
+	ts.Close() // connection refused from now on
+
+	r := mustRouter(t, []string{ts.URL}, Config{RetryMax: 2, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond, BreakerThreshold: 2})
+	b := r.Backends()[0]
+	_, err := r.Submit(context.Background(), b, SubmitRequest{Key: "key", K: 2})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker = %v after exhausted retries, want open", b.State())
+	}
+}
+
+// Status treats 404/410 as a void placement (ErrUnavailable → caller
+// re-places), not a permanent failure.
+func TestStatusLostJobIsUnavailable(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"unknown job"}`)
+	}))
+	defer ts.Close()
+	r := mustRouter(t, []string{ts.URL}, Config{RetryMax: 3, RetryBase: time.Millisecond})
+	_, err := r.Status(context.Background(), r.Backends()[0], "42")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if errors.Is(err, ErrPermanent) {
+		t.Fatalf("lost job classified permanent: %v", err)
+	}
+}
+
+// The job's remaining budget (caller context) must cut retries short.
+func TestRetryHonorsCallerDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	r := mustRouter(t, []string{ts.URL}, Config{RetryMax: 100, RetryBase: 50 * time.Millisecond, RetryCap: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.Status(ctx, r.Backends()[0], "1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored caller deadline: ran %v", elapsed)
+	}
+}
+
+// The probe loop must start, converge, and stop without leaking.
+func TestProbeLoopStartStop(t *testing.T) {
+	var probes atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		probes.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	r := mustRouter(t, []string{ts.URL}, Config{ProbeInterval: 5 * time.Millisecond})
+	r.Start()
+	r.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for probes.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if probes.Load() < 2 {
+		t.Fatal("probe loop never ran")
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	if r.Backends()[0].State() != BreakerClosed {
+		t.Fatal("healthy backend should be closed")
+	}
+}
+
+// A 429 with Retry-After must stretch the backoff to the hinted wait.
+func TestRetryAfterHintStretchesBackoff(t *testing.T) {
+	var calls atomic.Int32
+	var gap atomic.Int64
+	var last atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"id":"1","state":"queued","submitted_at":"2026-01-01T00:00:00Z"}`)
+	}))
+	defer ts.Close()
+	r := mustRouter(t, []string{ts.URL}, Config{RetryMax: 2, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond})
+	if _, err := r.Status(context.Background(), r.Backends()[0], "1"); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if got := time.Duration(gap.Load()); got < 900*time.Millisecond {
+		t.Fatalf("retry gap %v ignored Retry-After: 1", got)
+	}
+}

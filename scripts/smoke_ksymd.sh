@@ -7,14 +7,17 @@
 # and assert a clean drain — exit code 0, every job answered, every
 # output artifact complete (parses as a release), and no "*.tmp"
 # debris from the atomic writers. A kill -9 phase then checks journal
-# replay.
+# replay, and a sharded-front phase (DESIGN.md §14) checks consistent-
+# hash routing, failover across a backend SIGKILLed mid-job, SSE
+# continuity, degraded local execution with the ring down, and the
+# -shard-exec self-spawned topology reaping its children on drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PORT="${KSYMD_SMOKE_PORT:-18080}"
 BASE="http://127.0.0.1:${PORT}"
 WORK="$(mktemp -d)"
-trap 'kill "${KSYMD_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+trap 'kill "${KSYMD_PID:-}" "${B1_PID:-}" "${B2_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 echo "== build"
 go build -o "$WORK/bin/" ./cmd/...
@@ -232,4 +235,125 @@ if find "$DATA/spool" -type f 2>/dev/null | grep -q .; then
   echo "orphan spool files:"; find "$DATA/spool" -type f; exit 1
 fi
 
-echo "ksymd smoke OK: $JOBS jobs, SSE stream, fair-share flood shed, clean drain, complete artifacts, crash replay"
+echo "== sharded front: routing, mid-job backend SIGKILL, SSE continuity (DESIGN.md §14)"
+B1PORT=$((PORT + 1)); B2PORT=$((PORT + 2))
+# Backend 1 is armed to die by SIGKILL the instant its first job
+# starts running — the worst mid-job crash a backend can suffer.
+KSYM_CRASH_POINT=server.before_run KSYM_CRASH_HITS=1 \
+  "$WORK/bin/ksymd" -addr "127.0.0.1:${B1PORT}" 2>"$WORK/backend1.log" &
+B1_PID=$!
+"$WORK/bin/ksymd" -addr "127.0.0.1:${B2PORT}" 2>"$WORK/backend2.log" &
+B2_PID=$!
+for b in "$B1PORT" "$B2PORT"; do
+  for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:${b}/readyz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+done
+"$WORK/bin/ksymd" -addr "127.0.0.1:${PORT}" \
+  -shards "127.0.0.1:${B1PORT},127.0.0.1:${B2PORT}" \
+  -shard-probe-interval 200ms -shard-breaker-cooldown 500ms \
+  -drain-timeout 20s 2>"$WORK/front.log" &
+KSYMD_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$KSYMD_PID" || { cat "$WORK/front.log"; echo "front died at startup"; exit 1; }
+  sleep 0.1
+done
+grep -q "sharded front over 2 backends" "$WORK/front.log"
+
+# Distinct timeouts give distinct fingerprints, so the hash spreads
+# these jobs across the ring; one of them must land on the armed
+# backend and SIGKILL it mid-run. Every job must complete and every
+# SSE stream must deliver the terminal event regardless — a backend
+# death is never client-visible.
+killer=""
+for i in $(seq 1 10); do
+  curl -fsS "$BASE/v1/anonymize?k=2&timeout=$((20 + i))s" \
+    --data-binary @examples/data/fig3.edges -o "$WORK/shard_submit_$i.json"
+  sid="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/shard_submit_$i.json")"
+  curl -fsS -N --max-time 60 "$BASE/v1/jobs/$sid/events" -o "$WORK/shard_sse_$i.txt" &
+  sse_pid=$!
+  state=""
+  for _ in $(seq 1 300); do
+    state="$(curl -fsS "$BASE/v1/jobs/$sid" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+    [ "$state" = done ] && break
+    sleep 0.1
+  done
+  [ "$state" = done ] || { curl -fsS "$BASE/v1/jobs/$sid"; echo "sharded job $sid stuck in '$state'"; exit 1; }
+  wait "$sse_pid" || true
+  grep -q '"state":"done"' "$WORK/shard_sse_$i.txt" \
+    || { echo "SSE stream for $sid missed the terminal event:"; cat "$WORK/shard_sse_$i.txt"; exit 1; }
+  if ! kill -0 "$B1_PID" 2>/dev/null; then killer="$sid"; break; fi
+done
+[ -n "$killer" ] || { echo "no job was ever routed to the armed backend"; exit 1; }
+rc=0; wait "$B1_PID" || rc=$?
+[ "$rc" -eq 137 ] || { cat "$WORK/backend1.log"; echo "armed backend exited $rc, want 137 (SIGKILL)"; exit 1; }
+grep -q "crash point server.before_run hit 1: SIGKILL" "$WORK/backend1.log"
+curl -fsS "$BASE/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+assert m.get("server.shard_placements", 0) >= 1, m
+assert m.get("server.shard_failovers", 0) >= 1, m'
+
+echo "== ring down: SIGKILL the survivor, the front degrades to local execution"
+kill -9 "$B2_PID" 2>/dev/null || true
+wait "$B2_PID" 2>/dev/null || true
+curl -fsS "$BASE/v1/anonymize?k=2&timeout=20s" -H "Idempotency-Key: degraded-1" \
+  --data-binary @examples/data/fig3.edges -o "$WORK/degraded_submit.json"
+did="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/degraded_submit.json")"
+state=""
+for _ in $(seq 1 300); do
+  state="$(curl -fsS "$BASE/v1/jobs/$did" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  [ "$state" = done ] && break
+  sleep 0.1
+done
+[ "$state" = done ] || { curl -fsS "$BASE/v1/jobs/$did"; echo "degraded job stuck in '$state'"; exit 1; }
+curl -fsS "$BASE/v1/jobs/$did" -o "$WORK/degraded_status.json"
+python3 - "$WORK/degraded_status.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+downs = (st.get("summary") or {}).get("downgrades") or []
+assert any("degraded" in d for d in downs), st
+assert not st.get("backend"), st
+EOF
+curl -fsS "$BASE/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+assert m.get("server.shard_degraded", 0) == 1, m
+assert m.get("server.shard_degraded_runs", 0) >= 1, m'
+kill -TERM "$KSYMD_PID"
+rc=0; wait "$KSYMD_PID" || rc=$?
+[ "$rc" -eq 0 ] || { cat "$WORK/front.log"; echo "sharded front exited $rc"; exit 1; }
+grep -q "drained, exiting" "$WORK/front.log"
+
+echo "== -shard-exec: self-spawned ring completes work and reaps its children"
+"$WORK/bin/ksymd" -addr "127.0.0.1:${PORT}" -shard-exec 2 2>"$WORK/exec.log" &
+KSYMD_PID=$!
+for _ in $(seq 1 200); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$KSYMD_PID" || { cat "$WORK/exec.log"; echo "-shard-exec front died at startup"; exit 1; }
+  sleep 0.1
+done
+grep -q "sharded front over 2 backends" "$WORK/exec.log"
+curl -fsS "$BASE/v1/anonymize?k=5&timeout=20s" \
+  --data-binary @examples/data/ba200.edges -o "$WORK/exec_submit.json"
+eid="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/exec_submit.json")"
+state=""
+for _ in $(seq 1 300); do
+  state="$(curl -fsS "$BASE/v1/jobs/$eid" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')"
+  [ "$state" = done ] && break
+  sleep 0.1
+done
+[ "$state" = done ] || { curl -fsS "$BASE/v1/jobs/$eid"; echo "-shard-exec job stuck in '$state'"; exit 1; }
+curl -fsS "$BASE/v1/jobs/$eid/result" -o "$WORK/exec_result.release"
+"$WORK/bin/ksample" -release "$WORK/exec_result.release" -count 1 >/dev/null
+kill -TERM "$KSYMD_PID"
+rc=0; wait "$KSYMD_PID" || rc=$?
+[ "$rc" -eq 0 ] || { cat "$WORK/exec.log"; echo "-shard-exec front exited $rc"; exit 1; }
+sleep 0.5
+if pgrep -f "$WORK/bin/ksymd" >/dev/null; then
+  echo "stray ksymd processes after -shard-exec drain:"; pgrep -af "$WORK/bin/ksymd"; exit 1
+fi
+
+echo "ksymd smoke OK: $JOBS jobs, SSE stream, fair-share flood shed, clean drain, complete artifacts, crash replay, shard failover + degraded mode + self-spawned ring"
